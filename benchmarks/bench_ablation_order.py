@@ -1,0 +1,92 @@
+"""Ablation B: waveform model order and critical-point density.
+
+The paper closes with "more sophisticated waveform model and critical
+point model may help further improve speed and accuracy".  This bench
+sweeps the two knobs the engine exposes:
+
+* ``waveform_order``: 1 = piecewise-linear voltage (constant current
+  per region), 2 = the paper's piecewise-quadratic model;
+* ``cascade_substeps``: extra matching points inside each turn-on
+  region.
+
+Reported per configuration: region count, Newton iterations, wall time,
+delay error and waveform RMS against the 1 ps reference.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import (
+    T_SWITCH,
+    format_table,
+    run_once,
+    run_spice,
+    save_result,
+    stack_inputs,
+)
+from repro.analysis.accuracy import waveform_rms_error
+from repro.circuit import builders
+from repro.core import QWMOptions, WaveformEvaluator
+
+K = 6
+
+CONFIGS = [
+    ("linear, 1 substep", 1, 1),
+    ("linear, 2 substeps", 1, 2),
+    ("quadratic, 1 substep", 2, 1),
+    ("quadratic, 2 substeps", 2, 2),
+    ("quadratic, 3 substeps", 2, 3),
+]
+
+
+@pytest.fixture(scope="module")
+def reference(tech):
+    stage = builders.nmos_stack(tech, K, widths=[1e-6] * K, load=10e-15)
+    inputs = stack_inputs(tech, K)
+    initial = {n.name: tech.vdd for n in stage.internal_nodes}
+    result = run_spice(stage, tech, inputs, 1e-12, 700e-12, initial)
+    return stage, inputs, initial, result
+
+
+@pytest.mark.parametrize("label,order,substeps", CONFIGS,
+                         ids=[c[0].replace(" ", "") for c in CONFIGS])
+def test_ablation_config(benchmark, tech, library, reference, label,
+                         order, substeps):
+    stage, inputs, initial, ref = reference
+    evaluator = WaveformEvaluator(
+        tech, library=library,
+        options=QWMOptions(waveform_order=order,
+                           cascade_substeps=substeps))
+
+    sol = benchmark.pedantic(
+        evaluator.evaluate, args=(stage, "out", "fall", inputs),
+        kwargs={"initial": initial}, rounds=3, iterations=1)
+
+    d_ref = ref.delay_50("out", tech.vdd, t_input=T_SWITCH)
+    d_qwm = sol.delay(t_input=T_SWITCH)
+    err = abs(d_qwm - d_ref) / d_ref * 100.0
+    rms = waveform_rms_error(sol.waveforms["out"], ref, "out",
+                             normalize=tech.vdd)
+    benchmark.extra_info.update({
+        "regions": sol.stats.steps,
+        "newton_iterations": sol.stats.newton_iterations,
+        "delay_error_percent": err,
+        "waveform_rms_over_vdd": rms,
+    })
+    _RESULTS.append([label, str(sol.stats.steps),
+                     str(sol.stats.newton_iterations),
+                     f"{err:.2f}%", f"{rms * 100:.2f}%"])
+    assert err < 10.0
+
+
+_RESULTS = []
+
+
+def test_ablation_report(benchmark):
+    if not _RESULTS:
+        pytest.skip("no configurations collected")
+    run_once(benchmark, save_result, "ablation_order.txt", format_table(
+        "Ablation B: waveform order / matching-point density (6-stack)",
+        ["configuration", "regions", "NR iters", "delay err",
+         "waveform RMS/vdd"],
+        _RESULTS))

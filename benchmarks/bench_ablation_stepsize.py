@@ -1,0 +1,56 @@
+"""Ablation C: reference step-size sweep.
+
+The paper compares against HSPICE at 1 ps and 10 ps because "the
+user-specified step size has an impact on the Hspice simulation time".
+This bench sweeps the reference engine's step size on the 6-stack,
+showing the linear cost/step trade and the delay drift that makes the
+1 ps run the accuracy anchor — the context for QWM's constant cost.
+"""
+
+import pytest
+
+from benchmarks.harness import (
+    T_SWITCH,
+    format_table,
+    run_once,
+    run_spice,
+    save_result,
+    stack_inputs,
+)
+from repro.circuit import builders
+
+K = 6
+STEPS = [0.5e-12, 1e-12, 2e-12, 5e-12, 10e-12]
+
+_ROWS = []
+
+
+def _experiment(tech):
+    stage = builders.nmos_stack(tech, K, widths=[1e-6] * K, load=10e-15)
+    inputs = stack_inputs(tech, K)
+    initial = {n.name: tech.vdd for n in stage.internal_nodes}
+    return stage, inputs, initial
+
+
+@pytest.mark.parametrize("dt", STEPS,
+                         ids=[f"{dt * 1e12:g}ps" for dt in STEPS])
+def test_stepsize(benchmark, tech, dt):
+    stage, inputs, initial = _experiment(tech)
+    result = benchmark.pedantic(
+        run_spice, args=(stage, tech, inputs, dt, 700e-12, initial),
+        rounds=1, iterations=1)
+    delay = result.delay_50("out", tech.vdd, t_input=T_SWITCH)
+    _ROWS.append([f"{dt * 1e12:g} ps", str(result.stats.steps),
+                  f"{result.stats.wall_time:.4f} s",
+                  f"{delay * 1e12:.2f} ps"])
+    benchmark.extra_info["delay_ps"] = delay * 1e12
+
+
+def test_stepsize_report(benchmark):
+    if not _ROWS:
+        pytest.skip("no step sizes collected")
+    run_once(benchmark, save_result, "ablation_stepsize.txt",
+             format_table(
+                 "Ablation C: reference engine step-size sweep (6-stack)",
+                 ["step", "steps", "transient time", "50% delay"],
+                 _ROWS))

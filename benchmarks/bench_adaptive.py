@@ -1,0 +1,86 @@
+"""Ablation D: adaptive vs fixed-step reference cost.
+
+The paper benchmarks HSPICE at user-fixed 1 ps / 10 ps steps; a
+production engine adapts its step to the local truncation error.  This
+bench brackets QWM between the fixed-step references and the adaptive
+engine on the 6-stack: the adaptive run undercuts 1 ps substantially
+while staying accurate, and QWM still undercuts all of them — its solve
+count depends on K, not on integration error control.
+"""
+
+import pytest
+
+from benchmarks.harness import (
+    T_SWITCH,
+    evaluate_qwm,
+    format_table,
+    run_once,
+    run_spice,
+    save_result,
+    stack_inputs,
+)
+from repro.circuit import builders
+from repro.spice import AdaptiveOptions, AdaptiveTransientSimulator
+
+K = 6
+
+
+def _experiment(tech):
+    stage = builders.nmos_stack(tech, K, widths=[1e-6] * K, load=10e-15)
+    inputs = stack_inputs(tech, K)
+    initial = {n.name: tech.vdd for n in stage.internal_nodes}
+    return stage, inputs, initial
+
+
+def test_adaptive_engine_cost(benchmark, tech):
+    stage, inputs, initial = _experiment(tech)
+    sim = AdaptiveTransientSimulator(stage, tech, AdaptiveOptions(
+        t_stop=700e-12))
+    result = benchmark.pedantic(sim.run, args=(inputs,),
+                                kwargs={"initial": initial}, rounds=2,
+                                iterations=1)
+    assert result.delay_50("out", tech.vdd, t_input=T_SWITCH) is not None
+
+
+def test_adaptive_vs_fixed_vs_qwm(benchmark, tech, evaluator):
+    stage, inputs, initial = _experiment(tech)
+
+    def ladder():
+        fixed_1ps = run_spice(stage, tech, inputs, 1e-12, 700e-12,
+                              initial)
+        fixed_10ps = run_spice(stage, tech, inputs, 10e-12, 700e-12,
+                               initial)
+        adaptive = AdaptiveTransientSimulator(
+            stage, tech, AdaptiveOptions(t_stop=700e-12)).run(
+                inputs, initial=initial)
+        qwm = evaluate_qwm(stage, evaluator, inputs, "out",
+                           initial=initial)
+        return fixed_1ps, fixed_10ps, adaptive, qwm
+
+    fixed_1ps, fixed_10ps, adaptive, qwm = run_once(benchmark, ladder)
+    d_ref = fixed_1ps.delay_50("out", tech.vdd, t_input=T_SWITCH)
+
+    def row(name, steps, wall, delay):
+        err = abs(delay - d_ref) / d_ref * 100.0
+        return [name, str(steps), f"{wall * 1e3:.2f} ms",
+                f"{delay * 1e12:.2f} ps", f"{err:.2f}%"]
+
+    rows = [
+        row("fixed 1 ps", fixed_1ps.stats.steps,
+            fixed_1ps.stats.wall_time, d_ref),
+        row("fixed 10 ps", fixed_10ps.stats.steps,
+            fixed_10ps.stats.wall_time,
+            fixed_10ps.delay_50("out", tech.vdd, t_input=T_SWITCH)),
+        row("adaptive (LTE)", adaptive.stats.steps,
+            adaptive.stats.wall_time,
+            adaptive.delay_50("out", tech.vdd, t_input=T_SWITCH)),
+        row("QWM", qwm.stats.steps, qwm.stats.wall_time,
+            qwm.delay(t_input=T_SWITCH)),
+    ]
+    save_result("ablation_adaptive.txt", format_table(
+        "Ablation D: step-control ladder on the 6-stack",
+        ["engine", "solve points", "wall time", "50% delay", "error"],
+        rows))
+
+    assert adaptive.stats.steps < fixed_1ps.stats.steps
+    assert qwm.stats.steps < adaptive.stats.steps

@@ -1,0 +1,97 @@
+"""Related-work comparison: the methodology ladder of paper Section II.
+
+Four engines on the same 6-stack: switch-level Elmore (Crystal/IRSIM),
+successive chords (TETA), QWM, and the Newton-Raphson reference —
+ordered by accuracy, with speed measured on this machine.  The shape
+the paper argues: switch-level is fastest but crude; SC keeps accuracy
+at integration cost; QWM keeps device-model accuracy at near-AWE cost.
+"""
+
+import pytest
+
+from benchmarks.harness import (
+    T_SWITCH,
+    evaluate_qwm,
+    format_table,
+    run_once,
+    run_spice,
+    save_result,
+    stack_inputs,
+)
+from repro.baselines import SwitchLevelTimer
+from repro.baselines.sc_iteration import SCOptions, SuccessiveChordsSimulator
+from repro.circuit import builders
+
+K = 6
+
+
+def _experiment(tech):
+    stage = builders.nmos_stack(tech, K, widths=[1e-6] * K, load=10e-15)
+    inputs = stack_inputs(tech, K)
+    initial = {n.name: tech.vdd for n in stage.internal_nodes}
+    return stage, inputs, initial
+
+
+def test_switch_level_speed(benchmark, tech, library):
+    stage, inputs, _ = _experiment(tech)
+    timer = SwitchLevelTimer(tech, library)
+    benchmark(timer.estimate, stage, "out", "fall", inputs)
+
+
+def test_successive_chords_speed(benchmark, tech):
+    stage, inputs, initial = _experiment(tech)
+    sim = SuccessiveChordsSimulator(stage, tech, SCOptions(
+        t_stop=700e-12, dt=1e-12))
+    benchmark.pedantic(sim.run, args=(inputs,),
+                       kwargs={"initial": initial}, rounds=1,
+                       iterations=1)
+
+
+def test_qwm_speed(benchmark, tech, evaluator):
+    stage, inputs, initial = _experiment(tech)
+    benchmark.pedantic(evaluate_qwm,
+                       args=(stage, evaluator, inputs, "out"),
+                       kwargs={"initial": initial}, rounds=3,
+                       iterations=1)
+
+
+def test_methodology_ladder(benchmark, tech, library, evaluator):
+    stage, inputs, initial = _experiment(tech)
+
+    def ladder():
+        reference = run_spice(stage, tech, inputs, 1e-12, 700e-12,
+                              initial)
+        d_ref = reference.delay_50("out", tech.vdd, t_input=T_SWITCH)
+
+        est = SwitchLevelTimer(tech, library).estimate(
+            stage, "out", "fall", inputs)
+        sc = SuccessiveChordsSimulator(stage, tech, SCOptions(
+            t_stop=700e-12, dt=1e-12)).run(inputs, initial=initial)
+        d_sc = sc.delay_50("out", tech.vdd, t_input=T_SWITCH)
+        sol = evaluate_qwm(stage, evaluator, inputs, "out",
+                           initial=initial)
+        d_qwm = sol.delay(t_input=T_SWITCH)
+        return reference, d_ref, est, sc, d_sc, sol, d_qwm
+
+    reference, d_ref, est, sc, d_sc, sol, d_qwm = run_once(benchmark,
+                                                           ladder)
+
+    def err(d):
+        return abs(d - d_ref) / d_ref * 100.0
+
+    rows = [
+        ["switch-level Elmore (Crystal/IRSIM)", "device->resistor",
+         f"{est.delay * 1e12:.1f} ps", f"{err(est.delay):.1f}%"],
+        ["successive chords (TETA)", "tabular + integration",
+         f"{d_sc * 1e12:.1f} ps", f"{err(d_sc):.1f}%"],
+        ["QWM (this paper)", "tabular + K matchings",
+         f"{d_qwm * 1e12:.1f} ps", f"{err(d_qwm):.1f}%"],
+        ["Newton-Raphson reference (1 ps)", "golden model",
+         f"{d_ref * 1e12:.1f} ps", "-"],
+    ]
+    save_result("baselines_ladder.txt", format_table(
+        "Related-work methodology ladder on the 6-stack",
+        ["engine", "model fidelity", "50% delay", "delay error"],
+        rows))
+    # QWM must beat switch-level on accuracy.
+    assert err(d_qwm) < err(est.delay)

@@ -1,0 +1,65 @@
+"""Fig. 5: the NMOS device-model I/V surface Ids(Vd, Vs).
+
+The paper plots the projection of the NMOS device model: how the
+channel current varies with the drain and source node voltages.  The
+benchmark regenerates that surface from the golden analytic model,
+saves it as CSV, and times the tabular model's bulk query rate (the
+operation QWM leans on).
+"""
+
+import numpy as np
+
+from benchmarks.harness import format_table, run_once, save_csv, save_result
+from repro.devices import nmos_model
+
+
+def test_fig5_surface_data(benchmark, tech, library):
+    model = nmos_model(tech)
+    w, l = 1e-6, tech.lmin
+    vg = tech.vdd
+
+    def sweep():
+        axis = np.linspace(0.0, tech.vdd, 34)
+        vd_grid, vs_grid, ids_grid = [], [], []
+        for vs in axis:
+            for vd in axis:
+                vd_grid.append(vd)
+                vs_grid.append(vs)
+                ids_grid.append(model.ids(w, l, vg, vd, vs))
+        return vd_grid, vs_grid, ids_grid
+
+    vd_grid, vs_grid, ids_grid = run_once(benchmark, sweep)
+    path = save_csv("fig5_iv_surface.csv", ["vd", "vs", "ids"],
+                    [vd_grid, vs_grid, ids_grid])
+
+    ids_arr = np.asarray(ids_grid)
+    rows = [
+        ["max |Ids|", f"{np.max(np.abs(ids_arr)) * 1e3:.3f} mA"],
+        ["Ids at (vd=vdd, vs=0)",
+         f"{model.ids(w, l, vg, tech.vdd, 0.0) * 1e3:.3f} mA"],
+        ["Ids at (vd=0, vs=vdd)",
+         f"{model.ids(w, l, vg, 0.0, tech.vdd) * 1e3:.3f} mA"],
+        ["samples", str(len(ids_grid))],
+        ["csv", path],
+    ]
+    save_result("fig5_summary.txt", format_table(
+        "Fig 5: NMOS I/V surface (vg = vdd)", ["quantity", "value"],
+        rows))
+    # Antisymmetry of the surface under vd/vs exchange.
+    a = model.ids(w, l, vg, 2.0, 1.0)
+    b = model.ids(w, l, vg, 1.0, 2.0)
+    assert b == -a
+
+
+def test_fig5_table_query_rate(benchmark, tech, library):
+    table = library.get("n")
+    rng = np.random.default_rng(0)
+    points = rng.uniform(0.0, tech.vdd, size=(200, 3))
+
+    def bulk_query():
+        total = 0.0
+        for vg, va, vb in points:
+            total += table.iv(1e-6, tech.lmin, vg, va, vb)
+        return total
+
+    benchmark(bulk_query)

@@ -1,0 +1,62 @@
+"""Fig. 8: I/V curve fitting — linear (saturation) + quadratic (triode).
+
+The paper fits, per (Vs, Vg) grid point, ``Ids = s1*Vds + s0`` in
+saturation and ``Ids = t2*Vds^2 + t1*Vds + t0`` in triode, storing 7
+parameters.  The benchmark regenerates the fit at a representative grid
+point, saves samples + both fitted branches, reports the fit error, and
+times full device characterization (the model-build cost the paper
+excludes from its transient-time comparison).
+"""
+
+import numpy as np
+
+from benchmarks.harness import format_table, run_once, save_csv, save_result
+from repro.devices import characterize_device, nmos_model
+from repro.devices.characterize import fit_iv_curve
+
+
+def test_fig8_fit_quality(benchmark, tech):
+    model = nmos_model(tech)
+    w, l = 2.0 * tech.wmin, tech.lmin
+    vs, vg = 0.0, tech.vdd
+    vdsat = model.vdsat(w, l, vg, vs + 2.0, vs)
+    vth = model.threshold(vs)
+    vds = np.linspace(0.0, tech.vdd, 67)
+    ids = np.array([model.ids(w, l, vg, vs + v, vs) for v in vds])
+    fit = run_once(benchmark, fit_iv_curve, vds, ids, vth, vdsat)
+
+    fitted = np.array([fit.current(v) for v in vds])
+    ion = float(np.max(ids))
+    rms = float(np.sqrt(np.mean((fitted - ids) ** 2))) / ion
+    worst = float(np.max(np.abs(fitted - ids))) / ion
+
+    save_csv("fig8_curve_fit.csv", ["vds", "ids_sampled", "ids_fitted"],
+             [vds, ids, fitted])
+    rows = [
+        ["region boundary vdsat", f"{fit.vdsat:.3f} V"],
+        ["saturation fit", f"Ids = {fit.s1:.3e}*Vds + {fit.s0:.3e}"],
+        ["triode fit",
+         f"Ids = {fit.t2:.3e}*Vds^2 + {fit.t1:.3e}*Vds + {fit.t0:.3e}"],
+        ["RMS error / Ion", f"{rms * 100:.3f}%"],
+        ["worst error / Ion", f"{worst * 100:.3f}%"],
+        ["stored parameters", "7 (s1 s0 t2 t1 t0 vth vdsat)"],
+    ]
+    save_result("fig8_summary.txt", format_table(
+        "Fig 8: two-piece polynomial I/V fit at (Vs=0, Vg=vdd)",
+        ["quantity", "value"], rows))
+
+    # The two-piece polynomial is the paper's scheme; against our
+    # strongly velocity-saturated golden model the triode branch keeps
+    # ~1% RMS (BSIM3's triode curve is closer to quadratic).  This fit
+    # error is part of QWM's reported accuracy, as in the paper.
+    assert rms < 0.02
+    assert worst < 0.06
+
+
+def test_fig8_characterization_cost(benchmark, tech):
+    model = nmos_model(tech)
+    grid = benchmark.pedantic(
+        characterize_device, args=(model, tech),
+        kwargs={"grid_step": 0.1}, rounds=1, iterations=1)
+    assert grid.n_parameters == 7 * grid.vs_values.size \
+        * grid.vg_values.size

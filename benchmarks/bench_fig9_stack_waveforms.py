@@ -1,0 +1,79 @@
+"""Fig. 9: 6-NMOS stack voltage waveforms, QWM vs the reference.
+
+The paper plots the QWM result "as straight solid lines connecting the
+critical points" over the HSPICE dashed curves for the 6-transistor
+stack taken from the Manchester carry chain's longest path, and reports
+that QWM "follows quite closely".  The benchmark regenerates both wave
+sets, saves them side by side, and bounds the deviation.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import (
+    T_SWITCH,
+    evaluate_qwm,
+    format_table,
+    run_once,
+    run_spice,
+    save_csv,
+    save_result,
+    stack_inputs,
+)
+from repro.circuit import builders
+
+K = 6
+
+
+@pytest.fixture(scope="module")
+def experiment(tech, evaluator):
+    # The paper takes this stack from the Manchester carry chain's
+    # longest path (bits=5: five pass transistors + the cin pull-down).
+    stage = builders.nmos_stack(tech, K, widths=[1e-6] * K, load=10e-15)
+    inputs = stack_inputs(tech, K)
+    initial = {n.name: tech.vdd for n in stage.internal_nodes}
+    reference = run_spice(stage, tech, inputs, 1e-12, 700e-12, initial)
+    solution = evaluator.evaluate(stage, "out", "fall", inputs,
+                                  initial=initial)
+    return stage, reference, solution
+
+
+def test_fig9_waveform_match(benchmark, tech, experiment):
+    stage, reference, solution = experiment
+    run_once(benchmark, lambda: None)
+    names = [f"n{i}" for i in range(1, K)] + ["out"]
+    columns = [reference.times]
+    header = ["time"]
+    mask = reference.times > T_SWITCH + 4e-12
+    rows = []
+    for name in names:
+        ref = reference.voltage(name)
+        qwm = solution.waveforms[name].sample(reference.times)
+        columns.extend([ref, qwm])
+        header.extend([f"{name}_spice", f"{name}_qwm"])
+        dev = float(np.max(np.abs(ref[mask] - qwm[mask])))
+        rms = float(np.sqrt(np.mean((ref[mask] - qwm[mask]) ** 2)))
+        rows.append([name, f"{dev:.3f} V", f"{rms:.3f} V"])
+        assert dev < 0.45, name
+    save_csv("fig9_waveforms.csv", header, columns)
+
+    d_ref = reference.delay_50("out", tech.vdd, t_input=T_SWITCH)
+    d_qwm = solution.delay(t_input=T_SWITCH)
+    rows.append(["50% delay",
+                 f"qwm {d_qwm * 1e12:.1f} ps",
+                 f"ref {d_ref * 1e12:.1f} ps"])
+    rows.append(["critical points", str(len(solution.critical_times)),
+                 ""])
+    save_result("fig9_summary.txt", format_table(
+        "Fig 9: 6-NMOS stack, QWM piecewise waveforms vs reference",
+        ["node", "max deviation", "rms deviation"], rows))
+    assert abs(d_qwm - d_ref) / d_ref < 0.06
+
+
+def test_fig9_qwm_cost(benchmark, tech, evaluator):
+    stage = builders.nmos_stack(tech, K, widths=[1e-6] * K, load=10e-15)
+    inputs = stack_inputs(tech, K)
+    initial = {n.name: tech.vdd for n in stage.internal_nodes}
+    benchmark.pedantic(
+        evaluate_qwm, args=(stage, evaluator, inputs, "out"),
+        kwargs={"initial": initial}, rounds=5, iterations=1)

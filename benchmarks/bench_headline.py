@@ -1,0 +1,74 @@
+"""Headline result: aggregate speedup and accuracy.
+
+The paper's abstract: "a 31.6 times speed-up over SPICE transient
+simulation with 1ps step size can be achieved, while maintaining an
+average accuracy of 99%."  This bench aggregates a representative mix
+of Table I gates and Table II stacks on this machine and reports the
+same two aggregate numbers.  Absolute speedup depends on the host and
+on both engines being pure Python here; the shape to reproduce is a
+double-digit average speedup at 1 ps with high-90s accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import (
+    compare_engines,
+    format_table,
+    gate_inputs,
+    run_once,
+    save_result,
+    stack_inputs,
+)
+from repro.analysis import AccuracyReport
+from repro.circuit import builders
+
+
+def _mix(tech):
+    experiments = []
+    for n in (2, 3, 4):
+        experiments.append((
+            f"nand{n}", builders.nand_gate(tech, n), gate_inputs(tech, n),
+            "degraded", None, 150e-12 + 80e-12 * n))
+    for k in (5, 7, 9):
+        stage = builders.nmos_stack(tech, k,
+                                    rng=np.random.default_rng(k),
+                                    load=10e-15)
+        experiments.append((
+            f"stack{k}", stage, stack_inputs(tech, k), "full",
+            {node.name: tech.vdd for node in stage.internal_nodes},
+            120e-12 + 130e-12 * k))
+    return experiments
+
+
+def test_headline_aggregate(benchmark, tech, evaluator):
+    def run_all():
+        rows = []
+        for name, stage, inputs, precharge, initial, t_stop in _mix(tech):
+            rows.append(compare_engines(
+                stage, tech, evaluator, inputs, "out", t_stop,
+                initial=initial, precharge=precharge, name=name))
+        return rows
+
+    rows = run_once(benchmark, run_all)
+    report = AccuracyReport.from_errors([r.error_percent for r in rows])
+    mean_speedup = float(np.mean([r.speedup_1ps for r in rows]))
+
+    table = format_table(
+        "Headline: aggregate speedup and accuracy",
+        ["quantity", "this repo", "paper"],
+        [
+            ["average speedup vs 1ps reference",
+             f"{mean_speedup:.1f}x", "31.6x"],
+            ["average accuracy",
+             f"{report.accuracy_percent:.2f}%", "99%"],
+            ["worst delay error",
+             f"{report.worst_error_percent:.2f}%", "3.66%"],
+            ["circuits", str(len(rows)), "22"],
+        ])
+    save_result("headline.txt", table)
+
+    benchmark.extra_info["mean_speedup_1ps"] = mean_speedup
+    benchmark.extra_info["accuracy_percent"] = report.accuracy_percent
+    assert mean_speedup > 4.0
+    assert report.accuracy_percent > 93.0

@@ -1,0 +1,80 @@
+"""Complexity scaling: QWM cost is linear in K (paper Section I).
+
+"We achieve fast simulation speed ... the circuit only needs to be
+solved as a system of algebraic equations at K critical points, where K
+is the number of transistors."  This bench sweeps stack length K = 2..12
+and records QWM's region count, Newton iterations and table queries —
+all should grow linearly in K — against the reference engine's cost,
+which grows with the discharge window (roughly quadratic in K for a
+stack, since both the step count and the matrix size grow).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import (
+    T_SWITCH,
+    evaluate_qwm,
+    format_table,
+    run_once,
+    run_spice,
+    save_result,
+    stack_inputs,
+)
+from repro.circuit import builders
+
+LENGTHS = [2, 4, 6, 8, 10, 12]
+
+_ROWS = []
+
+
+def _experiment(tech, k):
+    stage = builders.nmos_stack(tech, k, widths=[1e-6] * k, load=10e-15)
+    inputs = stack_inputs(tech, k)
+    initial = {n.name: tech.vdd for n in stage.internal_nodes}
+    t_stop = 120e-12 + 130e-12 * k
+    return stage, inputs, initial, t_stop
+
+
+@pytest.mark.parametrize("k", LENGTHS, ids=[f"K{k}" for k in LENGTHS])
+def test_scaling_point(benchmark, tech, evaluator, k):
+    stage, inputs, initial, t_stop = _experiment(tech, k)
+    sol = benchmark.pedantic(
+        evaluate_qwm, args=(stage, evaluator, inputs, "out"),
+        kwargs={"initial": initial}, rounds=3, iterations=1)
+    ref = run_spice(stage, tech, inputs, 1e-12, t_stop, initial)
+    _ROWS.append((k, sol.stats.steps, sol.stats.newton_iterations,
+                  sol.stats.device_evaluations, sol.stats.wall_time,
+                  ref.stats.steps, ref.stats.device_evaluations,
+                  ref.stats.wall_time))
+    benchmark.extra_info["regions"] = sol.stats.steps
+    benchmark.extra_info["table_queries"] = sol.stats.device_evaluations
+
+
+def test_scaling_report(benchmark):
+    if len(_ROWS) < 3:
+        pytest.skip("scaling points not collected")
+
+    def report():
+        rows = [[str(k), str(regions), str(nr), str(queries),
+                 f"{wall * 1e3:.1f} ms", str(ref_steps),
+                 str(ref_evals), f"{ref_wall * 1e3:.1f} ms"]
+                for (k, regions, nr, queries, wall, ref_steps,
+                     ref_evals, ref_wall) in _ROWS]
+        save_result("scaling.txt", format_table(
+            "Scaling with stack length K (QWM linear, reference "
+            "~quadratic)",
+            ["K", "QWM regions", "QWM NR", "QWM queries", "QWM time",
+             "ref steps", "ref evals", "ref time"], rows))
+
+    run_once(benchmark, report)
+    # Linearity check: regions per K stays within a band across the
+    # sweep (regions = cascade substeps * (K-1) + milestones).
+    ks = np.array([r[0] for r in _ROWS], dtype=float)
+    regions = np.array([r[1] for r in _ROWS], dtype=float)
+    slope, intercept = np.polyfit(ks, regions, 1)
+    predicted = slope * ks + intercept
+    assert np.all(np.abs(regions - predicted) <= 3)
+    # Reference device evaluations grow superlinearly in K.
+    ref_evals = np.array([r[6] for r in _ROWS], dtype=float)
+    assert ref_evals[-1] / ref_evals[0] > (ks[-1] / ks[0]) ** 1.5

@@ -1,0 +1,72 @@
+"""Table II: QWM vs the SPICE reference for random NMOS stacks.
+
+Paper setup: "transistor stacks of lengths ranging from 5 to 10, with
+randomly chosen transistor widths", three width configurations per
+length.  Paper shape: average speedup > 50x @1ps and > 3x @10ps, delay
+error averaging 1.2% with a 3.66% worst case.  Machine-independent
+shape to reproduce: large 1 ps speedups that do not degrade with K
+(QWM solves scale with K, the reference with the ever-longer discharge
+window), small single-digit errors.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.harness import (
+    comparison_table,
+    compare_engines,
+    evaluate_qwm,
+    run_once,
+    save_result,
+    stack_inputs,
+)
+from repro.circuit import builders
+
+_ROWS = []
+
+CONFIGS = [(k, cfg) for k in range(5, 11) for cfg in range(3)]
+
+
+def _build(tech, k, cfg):
+    rng = np.random.default_rng(1000 * k + cfg)
+    stage = builders.nmos_stack(tech, k, load=10e-15, rng=rng)
+    inputs = stack_inputs(tech, k)
+    initial = {node.name: tech.vdd for node in stage.internal_nodes}
+    t_stop = 120e-12 + 130e-12 * k
+    return stage, inputs, initial, t_stop
+
+
+@pytest.mark.parametrize("k,cfg", CONFIGS,
+                         ids=[f"k{k}-ckt{c}" for k, c in CONFIGS])
+def test_table2_stack(benchmark, tech, evaluator, k, cfg):
+    stage, inputs, initial, t_stop = _build(tech, k, cfg)
+
+    benchmark.pedantic(
+        evaluate_qwm, args=(stage, evaluator, inputs, "out"),
+        kwargs={"initial": initial}, rounds=3, iterations=1)
+
+    row = compare_engines(stage, tech, evaluator, inputs, "out", t_stop,
+                          initial=initial, name=f"{k} ckt{cfg}")
+    _ROWS.append(row)
+    benchmark.extra_info["speedup_1ps"] = row.speedup_1ps
+    benchmark.extra_info["delay_error_percent"] = row.error_percent
+
+    assert row.speedup_1ps > 3.0
+    assert row.error_percent < 8.0
+
+
+def test_table2_report(benchmark, tech):
+    if not _ROWS:
+        pytest.skip("stack rows not collected")
+
+    def report():
+        content = comparison_table(
+            "Table II: QWM vs SPICE reference, random NMOS stacks "
+            "(K=5..10)", _ROWS)
+        save_result("table2_stacks.txt", content)
+        errors = [r.error_percent for r in _ROWS]
+        summary = (f"worst error {max(errors):.2f}% (paper: 3.66%), "
+                   f"average error {np.mean(errors):.2f}% (paper: 1.2%)")
+        save_result("table2_summary.txt", summary)
+
+    run_once(benchmark, report)

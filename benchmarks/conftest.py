@@ -1,0 +1,24 @@
+"""Benchmark fixtures: shared characterized technology + result sink."""
+
+import pytest
+
+from repro.core import WaveformEvaluator
+from repro.devices import CMOSP35, TableModelLibrary
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return CMOSP35
+
+
+@pytest.fixture(scope="session")
+def library(tech):
+    lib = TableModelLibrary(tech)
+    lib.get("n")
+    lib.get("p")
+    return lib
+
+
+@pytest.fixture(scope="session")
+def evaluator(tech, library):
+    return WaveformEvaluator(tech, library=library)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate a NAND3's worst-case delay with QWM.
+
+Builds a minimum-sized NAND3 in the CMOSP35-like technology, evaluates
+its worst-case falling transition (bottom input switches last) with
+piecewise Quadratic Waveform Matching, and cross-checks the result
+against the SPICE-like reference engine.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CMOSP35,
+    ConstantSource,
+    StepSource,
+    TransientOptions,
+    TransientSimulator,
+    WaveformEvaluator,
+    builders,
+)
+
+T_SWITCH = 20e-12  # the input steps 20 ps into the analysis
+
+
+def main() -> None:
+    tech = CMOSP35
+    stage = builders.nand_gate(tech, n_inputs=3)
+
+    # Worst case: a1/a2 already high, the bottom input a0 switches last.
+    inputs = {
+        "a0": StepSource(0.0, tech.vdd, T_SWITCH),
+        "a1": ConstantSource(tech.vdd),
+        "a2": ConstantSource(tech.vdd),
+    }
+
+    # --- QWM: solve the discharge at a handful of critical points ----
+    evaluator = WaveformEvaluator(tech)  # characterizes tables lazily
+    solution = evaluator.evaluate(stage, output="out", direction="fall",
+                                  inputs=inputs, precharge="degraded")
+    d_qwm = solution.delay(t_input=T_SWITCH)
+
+    print("QWM evaluation")
+    print(f"  path length K        : {solution.path.length} transistors")
+    print(f"  critical points      : {len(solution.critical_times)}")
+    print(f"  Newton iterations    : {solution.stats.newton_iterations}")
+    print(f"  table-model queries  : {solution.stats.device_evaluations}")
+    print(f"  solver wall time     : {solution.stats.wall_time * 1e3:.2f} ms")
+    print(f"  50% fall delay       : {d_qwm * 1e12:.2f} ps")
+
+    # --- Reference: SPICE-like engine, Newton at every 1 ps step -----
+    simulator = TransientSimulator(stage, tech, TransientOptions(
+        t_stop=400e-12, dt=1e-12))
+    reference = simulator.run(inputs)
+    d_ref = reference.delay_50("out", tech.vdd, t_input=T_SWITCH,
+                               direction="fall")
+
+    print("\nSPICE-like reference (1 ps steps)")
+    print(f"  time steps           : {reference.stats.steps}")
+    print(f"  Newton iterations    : {reference.stats.newton_iterations}")
+    print(f"  device evaluations   : {reference.stats.device_evaluations}")
+    print(f"  transient wall time  : {reference.stats.wall_time * 1e3:.2f} ms")
+    print(f"  50% fall delay       : {d_ref * 1e12:.2f} ps")
+
+    error = abs(d_qwm - d_ref) / d_ref * 100.0
+    speedup = reference.stats.wall_time / solution.stats.wall_time
+    print(f"\ndelay error {error:.2f}%  |  speedup {speedup:.1f}x")
+
+    # Piecewise waveform: sample the output at the critical points,
+    # exactly how the paper plots QWM results (Fig. 9).
+    print("\nQWM output waveform (critical points):")
+    wave = solution.output_waveform
+    for t in wave.breakpoints:
+        print(f"  t = {t * 1e12:7.2f} ps   out = {wave.value(t):.3f} V")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Static timing analysis layer and accuracy metrics.
+
+QWM is a *stage evaluation* engine; this package provides the STA
+scaffolding around it — delay/slew measurement, paper-style accuracy
+accounting (the tables report ``100% - |delay error|``), and a
+longest-path static timing analysis over stage graphs.
+"""
+
+from repro.analysis.delay import (
+    DelayMeasurement,
+    measure_delay,
+    measure_slew,
+)
+from repro.analysis.accuracy import (
+    AccuracyReport,
+    accuracy_percent,
+    compare_delays,
+    waveform_rms_error,
+)
+from repro.analysis.sta import (
+    ArrivalTime,
+    StaticTimingAnalyzer,
+    StaResult,
+)
+from repro.analysis.incremental import (
+    IncrementalStats,
+    IncrementalTimer,
+    stage_signature,
+)
+from repro.analysis.sensitivity import (
+    SensitivityResult,
+    SizingSensitivity,
+    clone_stage,
+)
+from repro.analysis.report import (
+    arrival_report,
+    corner_report,
+    critical_path_report,
+    design_summary,
+)
+from repro.analysis.variation import DelayDistribution, MonteCarloTiming
+from repro.analysis.sizing import GreedySizer, SizingResult, SizingStep
+
+__all__ = [
+    "DelayMeasurement",
+    "measure_delay",
+    "measure_slew",
+    "AccuracyReport",
+    "accuracy_percent",
+    "compare_delays",
+    "waveform_rms_error",
+    "ArrivalTime",
+    "StaticTimingAnalyzer",
+    "StaResult",
+    "IncrementalStats",
+    "IncrementalTimer",
+    "stage_signature",
+    "SensitivityResult",
+    "SizingSensitivity",
+    "clone_stage",
+    "arrival_report",
+    "corner_report",
+    "critical_path_report",
+    "design_summary",
+    "DelayDistribution",
+    "MonteCarloTiming",
+    "GreedySizer",
+    "SizingResult",
+    "SizingStep",
+]

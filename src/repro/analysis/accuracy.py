@@ -1,0 +1,83 @@
+"""Accuracy accounting in the paper's terms.
+
+The paper's tables report per-circuit delay "Error" percentages and an
+aggregate "average accuracy of 99%", i.e. ``100% - mean(|error|)``.
+These helpers compute exactly those quantities from engine outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.waveforms import PiecewiseQuadraticWaveform
+from repro.spice.results import TransientResult
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Aggregate delay-accuracy statistics across circuits.
+
+    Attributes:
+        errors_percent: per-circuit ``|delay error|`` in percent.
+        average_error_percent: mean of the above.
+        worst_error_percent: max of the above.
+        accuracy_percent: the paper's headline metric,
+            ``100 - average_error_percent``.
+    """
+
+    errors_percent: List[float]
+    average_error_percent: float
+    worst_error_percent: float
+    accuracy_percent: float
+
+    @classmethod
+    def from_errors(cls, errors_percent: Sequence[float]) -> "AccuracyReport":
+        errs = [abs(float(e)) for e in errors_percent]
+        if not errs:
+            raise ValueError("no errors supplied")
+        avg = float(np.mean(errs))
+        return cls(errors_percent=errs, average_error_percent=avg,
+                   worst_error_percent=float(np.max(errs)),
+                   accuracy_percent=100.0 - avg)
+
+
+def compare_delays(test_delay: Optional[float],
+                   reference_delay: Optional[float]) -> float:
+    """Percent delay error of a test engine against the reference.
+
+    Raises:
+        ValueError: if either delay is missing (no crossing found).
+    """
+    if test_delay is None or reference_delay is None:
+        raise ValueError("cannot compare missing delays")
+    if reference_delay == 0:
+        raise ValueError("reference delay is zero")
+    return abs(test_delay - reference_delay) / abs(reference_delay) * 100.0
+
+
+def accuracy_percent(test_delay: Optional[float],
+                     reference_delay: Optional[float]) -> float:
+    """Paper-style accuracy: ``100 - |error%|``."""
+    return 100.0 - compare_delays(test_delay, reference_delay)
+
+
+def waveform_rms_error(waveform: PiecewiseQuadraticWaveform,
+                       reference: TransientResult, node: str,
+                       normalize: Optional[float] = None) -> float:
+    """RMS difference between a QWM waveform and a reference waveform.
+
+    Args:
+        waveform: QWM piecewise-quadratic output.
+        reference: SPICE transient result.
+        node: node to compare.
+        normalize: optional divisor (e.g. vdd) for a relative metric.
+    """
+    sampled = waveform.sample(reference.times)
+    diff = sampled - reference.voltage(node)
+    rms = float(np.sqrt(np.mean(diff * diff)))
+    if normalize:
+        rms /= normalize
+    return rms

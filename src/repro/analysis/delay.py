@@ -1,0 +1,75 @@
+"""Delay and slew measurement over waveforms from either engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.waveforms import PiecewiseQuadraticWaveform
+from repro.spice.results import TransientResult
+
+WaveformLike = Union[PiecewiseQuadraticWaveform, TransientResult]
+
+
+@dataclass(frozen=True)
+class DelayMeasurement:
+    """A measured propagation delay.
+
+    Attributes:
+        delay: input event to 50% output crossing [s].
+        crossing_time: absolute output crossing time [s].
+        direction: ``"rise"`` or ``"fall"`` of the output.
+    """
+
+    delay: float
+    crossing_time: float
+    direction: str
+
+
+def _crossing(source: WaveformLike, node: Optional[str], level: float,
+              direction: str, after: float) -> Optional[float]:
+    if isinstance(source, PiecewiseQuadraticWaveform):
+        t = source.crossing_time(level)
+        if t is not None and t < after:
+            return None
+        return t
+    if node is None:
+        raise ValueError("node name required for TransientResult input")
+    return source.crossing_time(node, level, direction=direction,
+                                after=after)
+
+
+def measure_delay(source: WaveformLike, vdd: float, direction: str,
+                  node: Optional[str] = None, t_input: float = 0.0,
+                  fraction: float = 0.5) -> Optional[DelayMeasurement]:
+    """50% (or custom-fraction) propagation delay of an output waveform.
+
+    Args:
+        source: a QWM piecewise waveform or a SPICE transient result.
+        vdd: supply voltage [V].
+        direction: output transition direction (``"rise"``/``"fall"``).
+        node: node name (required for TransientResult sources).
+        t_input: input switching instant [s].
+        fraction: crossing level as a fraction of vdd.
+
+    Returns:
+        The measurement, or None if the waveform never crosses.
+    """
+    level = fraction * vdd
+    crossing = _crossing(source, node, level, direction, t_input)
+    if crossing is None:
+        return None
+    return DelayMeasurement(delay=crossing - t_input,
+                            crossing_time=crossing, direction=direction)
+
+
+def measure_slew(source: WaveformLike, vdd: float, direction: str,
+                 node: Optional[str] = None,
+                 low: float = 0.1, high: float = 0.9) -> Optional[float]:
+    """10/90 (by default) transition time of an output waveform [s]."""
+    lo_level, hi_level = low * vdd, high * vdd
+    t_lo = _crossing(source, node, lo_level, direction, 0.0)
+    t_hi = _crossing(source, node, hi_level, direction, 0.0)
+    if t_lo is None or t_hi is None:
+        return None
+    return abs(t_hi - t_lo)

@@ -1,0 +1,107 @@
+"""Human-readable timing reports (PrimeTime-flavored text output).
+
+Turns :class:`~repro.analysis.sta.StaResult` objects into the path-
+oriented text reports designers actually read: per-event arrival
+listings, the critical path with incremental delays, and slack against
+a required time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.sta import Event, StaResult
+from repro.circuit.stage import StageGraph
+
+
+def _fmt_ps(seconds: float) -> str:
+    return f"{seconds * 1e12:9.2f} ps"
+
+
+def arrival_report(result: StaResult, limit: Optional[int] = None) -> str:
+    """All computed arrivals, latest first.
+
+    Args:
+        result: an STA result.
+        limit: optionally keep only the N latest events.
+    """
+    rows = sorted(result.arrivals.values(), key=lambda a: -a.time)
+    if limit is not None:
+        rows = rows[:limit]
+    lines = ["Arrival report", "-" * 46,
+             f"{'net':<14}{'edge':<7}{'arrival':>12}  cause"]
+    for arrival in rows:
+        cause = (f"{arrival.cause[0]} ({arrival.cause[1]})"
+                 if arrival.cause else "primary input")
+        lines.append(f"{arrival.net:<14}{arrival.direction:<7}"
+                     f"{_fmt_ps(arrival.time):>12}  {cause}")
+    return "\n".join(lines)
+
+
+def critical_path_report(result: StaResult,
+                         required: Optional[float] = None) -> str:
+    """The critical path with per-hop incremental delays and slack.
+
+    Args:
+        result: an STA result with a non-empty critical path.
+        required: optional required arrival time [s] for slack.
+    """
+    if result.worst is None or not result.critical_path:
+        return "Critical path: (design has no timed outputs)"
+    lines = ["Critical path", "-" * 46,
+             f"{'point':<22}{'incr':>12}{'path':>12}"]
+    previous = 0.0
+    for event in result.critical_path:
+        arrival = result.arrivals.get(event)
+        t = arrival.time if arrival else 0.0
+        lines.append(f"{event[0]} ({event[1]})".ljust(22)
+                     + _fmt_ps(t - previous).rjust(12)
+                     + _fmt_ps(t).rjust(12))
+        previous = t
+    lines.append("-" * 46)
+    lines.append(f"{'data arrival':<22}{'':>12}"
+                 + _fmt_ps(result.worst.time).rjust(12))
+    if required is not None:
+        slack = required - result.worst.time
+        status = "MET" if slack >= 0 else "VIOLATED"
+        lines.append(f"{'required':<22}{'':>12}"
+                     + _fmt_ps(required).rjust(12))
+        lines.append(f"{'slack':<22}{'':>12}"
+                     + _fmt_ps(slack).rjust(12) + f"  ({status})")
+    return "\n".join(lines)
+
+
+def corner_report(corner_delays: Dict[str, float]) -> str:
+    """Per-corner worst arrivals plus the spread summary."""
+    from repro.devices.corners import corner_spread
+
+    slowest, fastest, spread = corner_spread(corner_delays)
+    lines = ["Corner summary", "-" * 34,
+             f"{'corner':<10}{'worst arrival':>16}"]
+    for name in sorted(corner_delays):
+        tag = ""
+        if name == slowest:
+            tag = "  <- slowest"
+        elif name == fastest:
+            tag = "  <- fastest"
+        lines.append(f"{name:<10}{_fmt_ps(corner_delays[name]):>16}{tag}")
+    lines.append("-" * 34)
+    lines.append(f"spread: {spread * 100:.1f}% "
+                 f"({fastest} -> {slowest})")
+    return "\n".join(lines)
+
+
+def design_summary(graph: StageGraph, result: StaResult) -> str:
+    """One-paragraph design/timing overview."""
+    transistors = sum(len(s.transistors) for s in graph.stages)
+    wires = sum(len(s.wires) for s in graph.stages)
+    lines = [
+        f"Design {graph.name}: {len(graph.stages)} logic stages, "
+        f"{transistors} transistors, {wires} wires",
+    ]
+    if result.worst is not None:
+        lines.append(
+            f"Worst arrival: {result.worst.net} ({result.worst.direction})"
+            f" at {result.worst.time * 1e12:.2f} ps through "
+            f"{max(len(result.critical_path) - 1, 0)} stage(s)")
+    return "\n".join(lines)

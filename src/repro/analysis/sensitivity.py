@@ -1,0 +1,135 @@
+"""Delay sensitivity to transistor sizing, computed with QWM.
+
+Because one QWM evaluation costs only K small Newton solves, finite-
+difference sensitivities — prohibitive with a SPICE engine in the loop —
+become routine: perturb one device's width, re-evaluate, difference.
+This enables gate-sizing loops driven by transistor-level timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.circuit.elements import DeviceKind
+from repro.circuit.netlist import LogicStage
+from repro.core.engine import WaveformEvaluator
+from repro.spice.sources import SourceLike
+
+
+def clone_stage(stage: LogicStage,
+                width_overrides: Optional[Dict[str, float]] = None
+                ) -> LogicStage:
+    """Deep-copy a stage, optionally overriding device widths.
+
+    Args:
+        stage: the stage to copy.
+        width_overrides: edge name -> new width [m].
+    """
+    overrides = width_overrides or {}
+    unknown = set(overrides) - {e.name for e in stage.edges}
+    if unknown:
+        raise KeyError(f"unknown devices: {sorted(unknown)}")
+    copy = LogicStage(stage.name, vdd=stage.vdd)
+    for edge in stage.edges:
+        w = overrides.get(edge.name, edge.w)
+        if edge.kind is DeviceKind.NMOS:
+            copy.add_nmos(edge.name, edge.src.name, edge.snk.name,
+                          edge.gate_input, w, edge.l)
+        elif edge.kind is DeviceKind.PMOS:
+            copy.add_pmos(edge.name, edge.src.name, edge.snk.name,
+                          edge.gate_input, w, edge.l)
+        else:
+            copy.add_wire(edge.name, edge.src.name, edge.snk.name,
+                          w, edge.l)
+    for node in stage.internal_nodes:
+        copy.add_node(node.name).load_cap = node.load_cap
+        if node.is_output:
+            copy.mark_output(node.name)
+    return copy
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """d(delay)/d(width) of one device.
+
+    Attributes:
+        device: edge name.
+        nominal_width: unperturbed width [m].
+        nominal_delay: unperturbed 50% delay [s].
+        sensitivity: d(delay)/d(width) [s/m] (negative means upsizing
+            this device speeds the path up).
+    """
+
+    device: str
+    nominal_width: float
+    nominal_delay: float
+    sensitivity: float
+
+    @property
+    def normalized(self) -> float:
+        """Relative sensitivity: percent delay change per percent width."""
+        return (self.sensitivity * self.nominal_width
+                / self.nominal_delay)
+
+
+class SizingSensitivity:
+    """Finite-difference delay sensitivities over a stage's devices.
+
+    Args:
+        evaluator: the QWM evaluator to use (characterized library is
+            reused across all perturbed evaluations).
+        rel_step: relative width perturbation for the central
+            difference.
+    """
+
+    def __init__(self, evaluator: WaveformEvaluator,
+                 rel_step: float = 0.05):
+        if not 0 < rel_step < 0.5:
+            raise ValueError("rel_step must be in (0, 0.5)")
+        self.evaluator = evaluator
+        self.rel_step = rel_step
+
+    def _delay(self, stage: LogicStage, output: str, direction: str,
+               inputs: Dict[str, SourceLike], precharge: str,
+               t_input: float) -> float:
+        solution = self.evaluator.evaluate(stage, output, direction,
+                                           inputs, precharge=precharge)
+        delay = solution.delay(t_input=t_input)
+        if delay is None:
+            raise RuntimeError("output never crossed 50%")
+        return delay
+
+    def device(self, stage: LogicStage, device_name: str, output: str,
+               direction: str, inputs: Dict[str, SourceLike],
+               precharge: str = "full",
+               t_input: float = 0.0) -> SensitivityResult:
+        """Sensitivity of one device's width."""
+        edge = stage.edge(device_name)
+        if not edge.kind.is_transistor:
+            raise ValueError(f"{device_name!r} is not a transistor")
+        w0 = edge.w
+        dw = self.rel_step * w0
+        d_nom = self._delay(stage, output, direction, inputs, precharge,
+                            t_input)
+        d_hi = self._delay(
+            clone_stage(stage, {device_name: w0 + dw}), output,
+            direction, inputs, precharge, t_input)
+        d_lo = self._delay(
+            clone_stage(stage, {device_name: w0 - dw}), output,
+            direction, inputs, precharge, t_input)
+        return SensitivityResult(
+            device=device_name, nominal_width=w0, nominal_delay=d_nom,
+            sensitivity=(d_hi - d_lo) / (2.0 * dw))
+
+    def all_path_devices(self, stage: LogicStage, output: str,
+                         direction: str, inputs: Dict[str, SourceLike],
+                         precharge: str = "full",
+                         t_input: float = 0.0) -> List[SensitivityResult]:
+        """Sensitivities for every transistor on the pull path."""
+        path = self.evaluator.extract(stage, output, direction, inputs)
+        return [
+            self.device(stage, dev.name, output, direction, inputs,
+                        precharge, t_input)
+            for dev in path.devices if dev.is_transistor
+        ]

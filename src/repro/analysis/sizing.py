@@ -1,0 +1,145 @@
+"""Greedy sensitivity-driven transistor sizing.
+
+A minimal timing-driven sizing loop built on
+:class:`~repro.analysis.sensitivity.SizingSensitivity`: repeatedly grow
+the path device with the best delay-reduction-per-added-width until the
+delay target is met or the width budget runs out.  Each iteration costs
+a handful of QWM evaluations — the optimization the paper's speed makes
+practical (and the spirit of its "future work" on using fast stage
+evaluation inside design loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.sensitivity import SizingSensitivity, clone_stage
+from repro.circuit.netlist import LogicStage
+from repro.core.engine import WaveformEvaluator
+from repro.spice.sources import SourceLike
+
+
+@dataclass
+class SizingStep:
+    """One accepted sizing move."""
+
+    device: str
+    old_width: float
+    new_width: float
+    delay_before: float
+    delay_after: float
+
+
+@dataclass
+class SizingResult:
+    """Outcome of a sizing run.
+
+    Attributes:
+        stage: the sized stage (a clone; the input stage is untouched).
+        initial_delay: delay before sizing [s].
+        final_delay: delay after sizing [s].
+        steps: accepted moves in order.
+        met_target: True if the target delay was reached.
+    """
+
+    stage: LogicStage
+    initial_delay: float
+    final_delay: float
+    steps: List[SizingStep] = field(default_factory=list)
+    met_target: bool = False
+
+    @property
+    def improvement(self) -> float:
+        """Fractional delay reduction."""
+        if self.initial_delay == 0:
+            return 0.0
+        return 1.0 - self.final_delay / self.initial_delay
+
+
+class GreedySizer:
+    """Greedy width optimizer for one stage transition.
+
+    Args:
+        evaluator: QWM evaluator.
+        step_factor: multiplicative width increase per accepted move.
+        max_width: per-device width ceiling [m].
+        max_iterations: move budget.
+    """
+
+    def __init__(self, evaluator: WaveformEvaluator,
+                 step_factor: float = 1.3,
+                 max_width: float = 20e-6,
+                 max_iterations: int = 25):
+        if step_factor <= 1.0:
+            raise ValueError("step_factor must exceed 1")
+        self.evaluator = evaluator
+        self.sensitivity = SizingSensitivity(evaluator)
+        self.step_factor = step_factor
+        self.max_width = max_width
+        self.max_iterations = max_iterations
+
+    def optimize(self, stage: LogicStage, output: str, direction: str,
+                 inputs: Dict[str, SourceLike],
+                 target_delay: Optional[float] = None,
+                 precharge: str = "full",
+                 t_input: float = 0.0) -> SizingResult:
+        """Size the pull-path devices toward a delay target.
+
+        Args:
+            stage: the stage to size (cloned, never modified).
+            output: output node.
+            direction: output transition.
+            inputs: gate sources.
+            target_delay: stop once the delay drops below this [s];
+                ``None`` sizes until no move improves.
+            precharge: initial-condition style.
+            t_input: input event time [s].
+        """
+        current = clone_stage(stage)
+        initial = self._delay(current, output, direction, inputs,
+                              precharge, t_input)
+        delay = initial
+        steps: List[SizingStep] = []
+
+        for _ in range(self.max_iterations):
+            if target_delay is not None and delay <= target_delay:
+                break
+            candidates = self.sensitivity.all_path_devices(
+                current, output, direction, inputs, precharge, t_input)
+            # Best delay reduction per added width, among devices with
+            # room to grow and a helpful (negative) sensitivity.
+            viable = [c for c in candidates
+                      if c.sensitivity < 0
+                      and c.nominal_width * self.step_factor
+                      <= self.max_width]
+            if not viable:
+                break
+            best = min(viable, key=lambda c: c.sensitivity
+                       * c.nominal_width)
+            new_width = best.nominal_width * self.step_factor
+            trial = clone_stage(current, {best.device: new_width})
+            trial_delay = self._delay(trial, output, direction, inputs,
+                                      precharge, t_input)
+            if trial_delay >= delay:
+                break  # greedy move no longer helps (self-loading wins)
+            steps.append(SizingStep(
+                device=best.device, old_width=best.nominal_width,
+                new_width=new_width, delay_before=delay,
+                delay_after=trial_delay))
+            current, delay = trial, trial_delay
+
+        return SizingResult(
+            stage=current, initial_delay=initial, final_delay=delay,
+            steps=steps,
+            met_target=(target_delay is not None
+                        and delay <= target_delay))
+
+    def _delay(self, stage, output, direction, inputs, precharge,
+               t_input) -> float:
+        solution = self.evaluator.evaluate(stage, output, direction,
+                                           inputs, precharge=precharge)
+        delay = solution.delay(t_input=t_input)
+        if delay is None:
+            raise RuntimeError("output never crossed 50%")
+        return delay

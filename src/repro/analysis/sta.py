@@ -1,0 +1,297 @@
+"""Longest-path static timing analysis over stage graphs.
+
+The classic STA recursion with QWM as the stage-delay engine: stages are
+visited in topological order; the arrival time of each stage output is
+the worst over its switching inputs of (input arrival + stage delay for
+that transition).  Standard single-input-switching semantics with CMOS
+unateness: a rising input can only cause the pull path its transistor
+sits on to engage, so a falling output arrival derives from rising
+inputs (pull-down through NMOS) and vice versa; non-switching inputs
+are held at the levels that sensitize the path (series devices on).
+
+Input slew propagation is not modeled (transitions are ideal steps, the
+paper's operating assumption); load coupling between stages enters
+through the gate-capacitance loads the stage extraction already counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.elements import DeviceKind
+from repro.circuit.netlist import LogicStage
+from repro.circuit.stage import StageGraph
+from repro.core.engine import WaveformEvaluator
+from repro.core.qwm import QWMOptions
+from repro.devices.table_model import TableModelLibrary
+from repro.devices.technology import Technology
+from repro.spice.sources import ConstantSource, RampSource, StepSource
+
+#: (net, direction) key; direction is the transition of the net.
+Event = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class ArrivalTime:
+    """Worst-case arrival of one transition at a net.
+
+    Attributes:
+        net: net name.
+        direction: ``"rise"`` or ``"fall"``.
+        time: arrival time [s].
+        cause: the (net, direction) event that produced it, if any.
+        slew: full-swing transition time of the arriving edge [s]
+            (None when slews are not propagated).
+    """
+
+    net: str
+    direction: str
+    time: float
+    cause: Optional[Event] = None
+    slew: Optional[float] = None
+
+
+@dataclass
+class StaResult:
+    """Output of a full STA run.
+
+    Attributes:
+        arrivals: (net, direction) -> ArrivalTime.
+        worst: the latest arrival over all primary-output events.
+        critical_path: chain of (net, direction) events ending at the
+            worst arrival, primary input first.
+    """
+
+    arrivals: Dict[Event, ArrivalTime]
+    worst: Optional[ArrivalTime]
+    critical_path: List[Event] = field(default_factory=list)
+
+    def arrival(self, net: str, direction: str) -> Optional[ArrivalTime]:
+        return self.arrivals.get((net, direction))
+
+
+def _opposite(direction: str) -> str:
+    return "fall" if direction == "rise" else "rise"
+
+
+class StaticTimingAnalyzer:
+    """QWM-driven static timing analysis.
+
+    Args:
+        tech: process technology.
+        library: shared table-model library (characterized once).
+        options: QWM options for the per-stage evaluations.
+    """
+
+    def __init__(self, tech: Technology,
+                 library: Optional[TableModelLibrary] = None,
+                 options: Optional[QWMOptions] = None,
+                 propagate_slews: bool = False,
+                 input_slew: float = 20e-12):
+        """
+        Args:
+            tech: process technology.
+            library: shared table-model library.
+            options: QWM options for the per-stage evaluations.
+            propagate_slews: when True, each arc is driven by a ramp
+                fitted to the upstream stage's output waveform (the
+                tangent-ramp driver model) instead of an ideal step.
+                More realistic arrivals; note the QWM ramp caveat — the
+                opposing network's direct-path current is unmodeled, so
+                very slow ramps lose accuracy.
+            input_slew: full-swing transition time assumed for primary
+                inputs in slew mode [s].
+        """
+        self.tech = tech
+        self.evaluator = WaveformEvaluator(tech, library=library,
+                                           options=options)
+        self.propagate_slews = propagate_slews
+        self.input_slew = input_slew
+
+    # ------------------------------------------------------------------
+    def stage_arc(self, stage: LogicStage, output: str,
+                  out_direction: str, switching_input: str,
+                  input_slew: Optional[float] = None
+                  ) -> Optional[Tuple[float, Optional[float]]]:
+        """Evaluate one arc: returns (delay, output_slew) or None.
+
+        The delay is measured from the switching input's 50% crossing;
+        the output slew is the full-swing tangent-ramp time of the QWM
+        output waveform (None if unfittable).
+        """
+        vdd = stage.vdd
+        rising_in = out_direction == "fall"
+        v0, v1 = (0.0, vdd) if rising_in else (vdd, 0.0)
+        if input_slew:
+            source = RampSource(v0, v1, 0.0, input_slew)
+            t_input = 0.5 * input_slew
+        else:
+            source = StepSource(v0, v1, 0.0)
+            t_input = 0.0
+        solution = None
+        for levels in self._sensitizations(stage, switching_input,
+                                           out_direction):
+            inputs = {switching_input: source}
+            inputs.update({name: ConstantSource(level)
+                           for name, level in levels.items()})
+            try:
+                candidate = self.evaluator.evaluate(
+                    stage, output, out_direction, inputs,
+                    precharge="dc")
+            except ValueError:
+                continue
+            # A real arc starts on the far side of mid-rail: if the DC
+            # pre-state already holds the output at its final logic
+            # value, this sensitization produces no transition.
+            v_start = candidate.output_waveform.value(0.0)
+            if out_direction == "fall" and v_start < 0.55 * vdd:
+                continue
+            if out_direction == "rise" and v_start > 0.45 * vdd:
+                continue
+            solution = candidate
+            break
+        if solution is None:
+            return None
+        delay = solution.delay(t_input=t_input)
+        if delay is None:
+            return None
+        fit = solution.output_waveform.tangent_ramp(vdd)
+        out_slew = fit[1] if fit is not None else None
+        return delay, out_slew
+
+    def stage_delay(self, stage: LogicStage, output: str,
+                    out_direction: str, switching_input: str
+                    ) -> Optional[float]:
+        """QWM step-driven delay of one arc, or None if not sensitizable."""
+        arc = self.stage_arc(stage, output, out_direction,
+                             switching_input)
+        return arc[0] if arc is not None else None
+
+    def _sensitizing_level(self, stage: LogicStage, input_name: str,
+                           out_direction: str) -> float:
+        """Static level that keeps this input's path devices conducting.
+
+        For a falling output the pull-down must conduct: non-switching
+        inputs sit high (series NMOS on, parallel PMOS off).  For a
+        rising output, low.  This is the standard worst-case
+        single-input-switching sensitization for complementary CMOS.
+        """
+        return stage.vdd if out_direction == "fall" else 0.0
+
+    def _sensitizations(self, stage: LogicStage, switching_input: str,
+                        out_direction: str):
+        """Yield candidate non-switching input level assignments.
+
+        No single static rule covers every topology (a NAND's rise arc
+        needs the other inputs HIGH to block the parallel pull-ups,
+        while a NOR's needs them LOW to conduct the series stack, and a
+        pass gate must be at its conducting level for either edge), so
+        candidates are enumerated in heuristic-first order — the
+        series-conduction rule, then single flips, then the remaining
+        combinations — and the caller keeps the first one that both
+        extracts a conducting path and produces a genuine transition.
+        Bounded to 16 combinations.
+        """
+        from itertools import product
+
+        others = [n for n in stage.inputs if n != switching_input]
+        base = {n: self._sensitizing_level(stage, n, out_direction)
+                for n in others}
+        yield dict(base)
+        if not others:
+            return
+
+        seen = {tuple(sorted(base.items()))}
+        flipped = {n: (0.0 if base[n] else stage.vdd) for n in others}
+        combos = sorted(product(*[[False, True]] * len(others)),
+                        key=sum)
+        for combo in combos[:16]:
+            levels = {n: (flipped[n] if flip else base[n])
+                      for n, flip in zip(others, combo)}
+            key = tuple(sorted(levels.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            yield levels
+
+    # ------------------------------------------------------------------
+    def analyze(self, graph: StageGraph,
+                input_arrivals: Optional[Dict[Event, float]] = None
+                ) -> StaResult:
+        """Run longest-path STA over a stage graph.
+
+        Args:
+            graph: partitioned design.
+            input_arrivals: optional (net, direction) -> time for primary
+                inputs; unspecified primary-input events arrive at 0.
+
+        Returns:
+            Arrival times for every stage-output event reached.
+        """
+        arrivals: Dict[Event, ArrivalTime] = {}
+        driven = set(graph.driver_of)
+        primary_inputs = set()
+        for stage in graph.stages:
+            for name in stage.inputs:
+                if name not in driven:
+                    primary_inputs.add(name)
+        primary_slew = self.input_slew if self.propagate_slews else None
+        for net in primary_inputs:
+            for direction in ("rise", "fall"):
+                t = 0.0
+                if input_arrivals:
+                    t = input_arrivals.get((net, direction), 0.0)
+                arrivals[(net, direction)] = ArrivalTime(
+                    net, direction, t, slew=primary_slew)
+
+        for stage in graph.topological_order():
+            for out_node in stage.outputs:
+                for out_dir in ("rise", "fall"):
+                    best: Optional[ArrivalTime] = None
+                    in_dir = _opposite(out_dir)
+                    for input_name in stage.inputs:
+                        src = arrivals.get((input_name, in_dir))
+                        if src is None:
+                            continue
+                        if self.propagate_slews:
+                            arc = self.stage_arc(
+                                stage, out_node.name, out_dir,
+                                input_name,
+                                input_slew=src.slew or self.input_slew)
+                            if arc is None:
+                                continue
+                            delay, out_slew = arc
+                        else:
+                            delay = self.stage_delay(
+                                stage, out_node.name, out_dir,
+                                input_name)
+                            out_slew = None
+                            if delay is None:
+                                continue
+                        t = src.time + delay
+                        if best is None or t > best.time:
+                            best = ArrivalTime(
+                                net=out_node.name, direction=out_dir,
+                                time=t, cause=(input_name, in_dir),
+                                slew=out_slew)
+                    if best is not None:
+                        key = (out_node.name, out_dir)
+                        existing = arrivals.get(key)
+                        if existing is None or best.time > existing.time:
+                            arrivals[key] = best
+
+        worst: Optional[ArrivalTime] = None
+        for event, arrival in arrivals.items():
+            if event[0] in driven:
+                if worst is None or arrival.time > worst.time:
+                    worst = arrival
+        path: List[Event] = []
+        cursor = worst
+        while cursor is not None:
+            path.append((cursor.net, cursor.direction))
+            cursor = (arrivals.get(cursor.cause)
+                      if cursor.cause is not None else None)
+        path.reverse()
+        return StaResult(arrivals=arrivals, worst=worst,
+                         critical_path=path)

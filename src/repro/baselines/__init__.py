@@ -1,0 +1,21 @@
+"""Related-work baselines (paper Section II).
+
+* :mod:`repro.baselines.switch_level` — Crystal/IRSIM-style switched
+  resistor + Elmore delay: the first fast-simulation methodology the
+  paper describes ("model the transistors as switched resistors.  A
+  logic stage can then be reduced into an RC network, for which Elmore
+  delay is computed").
+* :mod:`repro.baselines.sc_iteration` — a TETA-style transient solver:
+  accurate (tabular) device models with time-domain integration, but
+  Newton-Raphson replaced by successive-chords iteration with a constant
+  admittance matrix.
+"""
+
+from repro.baselines.switch_level import SwitchLevelTimer, effective_resistance
+from repro.baselines.sc_iteration import SuccessiveChordsSimulator
+
+__all__ = [
+    "SwitchLevelTimer",
+    "effective_resistance",
+    "SuccessiveChordsSimulator",
+]

@@ -1,0 +1,34 @@
+"""Circuit-model substrate: logic stages as polar directed graphs.
+
+Implements the paper's Definition 1: a CMOS logic stage is a polar
+directed graph ``(N, E, s, t, I, O)`` whose vertices are circuit nodes and
+whose edges are circuit elements (NMOS, PMOS or wire segments), with the
+power supply as source, ground as sink, gate-driven edges as inputs and
+designated nodes as outputs.
+
+:mod:`repro.circuit.builders` constructs every circuit the paper
+evaluates: minimum-sized gates, randomly sized NMOS stacks, the
+Manchester carry chain (Fig. 2) and the memory decoder tree (Fig. 3).
+:mod:`repro.circuit.stage` extracts channel-connected logic stages from a
+flat transistor netlist, the partitioning step the paper's introduction
+describes.
+"""
+
+from repro.circuit.elements import DeviceKind
+from repro.circuit.netlist import CircuitEdge, CircuitNode, LogicStage
+from repro.circuit.stage import FlatNetlist, StageGraph, extract_stages
+from repro.circuit.validate import StageValidationError, validate_stage
+from repro.circuit import builders
+
+__all__ = [
+    "DeviceKind",
+    "CircuitEdge",
+    "CircuitNode",
+    "LogicStage",
+    "FlatNetlist",
+    "StageGraph",
+    "extract_stages",
+    "StageValidationError",
+    "validate_stage",
+    "builders",
+]

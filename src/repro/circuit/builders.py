@@ -1,0 +1,325 @@
+"""Builders for every circuit the paper evaluates.
+
+* :func:`inverter`, :func:`nand_gate`, :func:`nor_gate` — the standard
+  CMOS gates of Table I.
+* :func:`nmos_stack` — the randomly sized K-transistor discharge stacks
+  of Table II and Figs. 6/7/9.
+* :func:`manchester_carry_chain` — Fig. 2; its longest path is the
+  6-NMOS stack whose waveforms the paper plots in Fig. 9.
+* :func:`decoder_tree` — Fig. 3; a binary pass-transistor tree whose
+  inter-level wires double in length at every level.
+* :func:`pass_transistor_netlist` — Fig. 1 (Example 1): a NAND gate whose
+  output feeds a pass transistor through a wire, the motivating case for
+  dynamic stage construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuit.netlist import GND_NODE, VDD_NODE, LogicStage
+from repro.circuit.stage import FlatNetlist
+from repro.devices.technology import Technology
+
+#: Default lumped output load [F], a few gate-inputs' worth.
+DEFAULT_LOAD = 5e-15
+
+
+def _min_widths(tech: Technology) -> tuple:
+    """Minimum-size gate widths (wn, wp), PMOS upsized for symmetry."""
+    wn = 2.0 * tech.wmin
+    wp = 2.0 * wn
+    return wn, wp
+
+
+def inverter(tech: Technology, wn: Optional[float] = None,
+             wp: Optional[float] = None,
+             load: float = DEFAULT_LOAD) -> LogicStage:
+    """A CMOS inverter: input ``a``, output ``out``."""
+    wn_def, wp_def = _min_widths(tech)
+    wn = wn_def if wn is None else wn
+    wp = wp_def if wp is None else wp
+    stage = LogicStage("inv", vdd=tech.vdd)
+    stage.add_pmos("MP", src=VDD_NODE, snk="out", gate="a",
+                   w=wp, l=tech.lmin)
+    stage.add_nmos("MN", src="out", snk=GND_NODE, gate="a",
+                   w=wn, l=tech.lmin)
+    stage.mark_output("out")
+    stage.set_load("out", load)
+    return stage
+
+
+def nand_gate(tech: Technology, n_inputs: int = 2,
+              wn: Optional[float] = None, wp: Optional[float] = None,
+              load: float = DEFAULT_LOAD) -> LogicStage:
+    """An ``n_inputs``-input NAND: inputs ``a0..a{n-1}``, output ``out``.
+
+    The NMOS stack is ordered with ``a0`` at the bottom (nearest ground),
+    so the stage's worst-case discharge is triggered by ``a0`` switching
+    last — the scenario QWM evaluates.
+    """
+    if n_inputs < 2:
+        raise ValueError("nand_gate needs at least 2 inputs")
+    wn_def, wp_def = _min_widths(tech)
+    wn = wn_def if wn is None else wn
+    wp = wp_def if wp is None else wp
+    stage = LogicStage(f"nand{n_inputs}", vdd=tech.vdd)
+    # NMOS series stack from out down to ground.
+    upper = "out"
+    for i in range(n_inputs - 1, 0, -1):
+        lower = f"n{i}"
+        stage.add_nmos(f"MN{i}", src=upper, snk=lower, gate=f"a{i}",
+                       w=wn, l=tech.lmin)
+        upper = lower
+    stage.add_nmos("MN0", src=upper, snk=GND_NODE, gate="a0",
+                   w=wn, l=tech.lmin)
+    # PMOS devices in parallel.
+    for i in range(n_inputs):
+        stage.add_pmos(f"MP{i}", src=VDD_NODE, snk="out", gate=f"a{i}",
+                       w=wp, l=tech.lmin)
+    stage.mark_output("out")
+    stage.set_load("out", load)
+    return stage
+
+
+def nor_gate(tech: Technology, n_inputs: int = 2,
+             wn: Optional[float] = None, wp: Optional[float] = None,
+             load: float = DEFAULT_LOAD) -> LogicStage:
+    """An ``n_inputs``-input NOR: inputs ``a0..a{n-1}``, output ``out``."""
+    if n_inputs < 2:
+        raise ValueError("nor_gate needs at least 2 inputs")
+    wn_def, wp_def = _min_widths(tech)
+    wn = wn_def if wn is None else wn
+    wp = (wp_def * n_inputs) if wp is None else wp
+    stage = LogicStage(f"nor{n_inputs}", vdd=tech.vdd)
+    upper = VDD_NODE
+    for i in range(n_inputs - 1):
+        lower = f"p{i}"
+        stage.add_pmos(f"MP{i}", src=upper, snk=lower, gate=f"a{i}",
+                       w=wp, l=tech.lmin)
+        upper = lower
+    stage.add_pmos(f"MP{n_inputs - 1}", src=upper, snk="out",
+                   gate=f"a{n_inputs - 1}", w=wp, l=tech.lmin)
+    for i in range(n_inputs):
+        stage.add_nmos(f"MN{i}", src="out", snk=GND_NODE, gate=f"a{i}",
+                       w=wn, l=tech.lmin)
+    stage.mark_output("out")
+    stage.set_load("out", load)
+    return stage
+
+
+def nmos_stack(tech: Technology, length: int,
+               widths: Optional[Sequence[float]] = None,
+               load: float = DEFAULT_LOAD,
+               rng: Optional[np.random.Generator] = None) -> LogicStage:
+    """A K-transistor NMOS discharge stack (paper Fig. 6).
+
+    Transistor ``M1`` (gate ``g1``) sits at the bottom next to ground;
+    ``M{K}`` connects internal node ``n{K-1}`` to the output.  When
+    ``widths`` is omitted they are drawn uniformly from
+    ``[2*wmin, 8*wmin]`` — the paper's "randomly chosen transistor
+    widths" — using ``rng``.
+
+    Args:
+        tech: technology.
+        length: number of series transistors K (>= 1).
+        widths: per-transistor widths, bottom-up [m].
+        load: output load capacitance [F].
+        rng: random generator for width selection.
+    """
+    if length < 1:
+        raise ValueError("stack length must be >= 1")
+    if widths is None:
+        rng = np.random.default_rng(0) if rng is None else rng
+        widths = rng.uniform(2.0 * tech.wmin, 8.0 * tech.wmin, size=length)
+    widths = list(widths)
+    if len(widths) != length:
+        raise ValueError(f"expected {length} widths, got {len(widths)}")
+
+    stage = LogicStage(f"stack{length}", vdd=tech.vdd)
+    lower = GND_NODE
+    for k in range(1, length + 1):
+        upper = "out" if k == length else f"n{k}"
+        stage.add_nmos(f"M{k}", src=upper, snk=lower, gate=f"g{k}",
+                       w=widths[k - 1], l=tech.lmin)
+        lower = upper
+    stage.mark_output("out")
+    stage.set_load("out", load)
+    return stage
+
+
+def manchester_carry_chain(tech: Technology, bits: int = 4,
+                           wn: Optional[float] = None,
+                           wp: Optional[float] = None,
+                           load: float = DEFAULT_LOAD) -> LogicStage:
+    """A Manchester carry chain (paper Fig. 2).
+
+    Per bit slice ``i``: a pass NMOS gated by propagate ``P{i}`` connects
+    carry node ``c{i}`` to ``c{i+1}``; a generate NMOS gated by ``G{i}``
+    pulls ``c{i+1}`` to ground; a precharge PMOS gated by ``phi``
+    precharges ``c{i+1}``.  The carry-in node ``c0`` has its own
+    precharge and a discharge NMOS gated by ``cin_pull``.  All carry
+    nodes are channel-connected — the whole chain is one logic stage,
+    which is exactly the paper's point (Example 2).
+
+    The worst-case discharge path (carry ripples from ``c0`` to
+    ``c{bits}``) is a series chain of ``bits + 1`` NMOS devices; with
+    ``bits=5`` this is the paper's 6-NMOS stack of Fig. 9.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    wn_def, wp_def = _min_widths(tech)
+    wn = wn_def if wn is None else wn
+    wp = wp_def if wp is None else wp
+    stage = LogicStage(f"manchester{bits}", vdd=tech.vdd)
+
+    stage.add_pmos("MPRE0", src=VDD_NODE, snk="c0", gate="phi",
+                   w=wp, l=tech.lmin)
+    stage.add_nmos("MCIN", src="c0", snk=GND_NODE, gate="cin_pull",
+                   w=wn, l=tech.lmin)
+    for i in range(bits):
+        carry_in, carry_out = f"c{i}", f"c{i + 1}"
+        stage.add_nmos(f"MPASS{i}", src=carry_out, snk=carry_in,
+                       gate=f"P{i}", w=wn, l=tech.lmin)
+        stage.add_nmos(f"MGEN{i}", src=carry_out, snk=GND_NODE,
+                       gate=f"G{i}", w=wn, l=tech.lmin)
+        stage.add_pmos(f"MPRE{i + 1}", src=VDD_NODE, snk=carry_out,
+                       gate="phi", w=wp, l=tech.lmin)
+        stage.mark_output(carry_out)
+        stage.set_load(carry_out, load)
+    return stage
+
+
+def decoder_tree(tech: Technology, levels: int = 3,
+                 wn: Optional[float] = None,
+                 unit_wire_length: float = 20e-6,
+                 wire_width: Optional[float] = None,
+                 load: float = DEFAULT_LOAD) -> LogicStage:
+    """A memory decoder tree (paper Fig. 3).
+
+    A binary tree of pass NMOS devices: the root connects to ground
+    through an enable NMOS gated by ``phi``; at level ``j`` each vertex
+    fans out to two children through transistors gated by address bit
+    ``A{j}`` / ``A{j}b``, and each child connects onward through a wire
+    segment whose length is ``unit_wire_length * 2**j`` — the
+    exponentially growing diffusion-connecting wires the paper draws in
+    bold.  The leaves are the decoder outputs (wordline selects).
+    """
+    if levels < 1:
+        raise ValueError("levels must be >= 1")
+    wn_def, _ = _min_widths(tech)
+    wn = wn_def if wn is None else wn
+    wire_width = tech.wmin if wire_width is None else wire_width
+    stage = LogicStage(f"decoder{levels}", vdd=tech.vdd)
+    stage.add_nmos("MEN", src="t", snk=GND_NODE, gate="phi",
+                   w=2.0 * wn, l=tech.lmin)
+
+    frontier = ["t"]
+    for level in range(levels):
+        wire_len = unit_wire_length * (2 ** level)
+        next_frontier: List[str] = []
+        for parent in frontier:
+            for branch, gate in (("0", f"A{level}b"), ("1", f"A{level}")):
+                suffix = parent[1:] + branch
+                drain = f"d{suffix}"
+                child = f"t{suffix}"
+                stage.add_nmos(f"M{suffix}", src=drain, snk=parent,
+                               gate=gate, w=wn, l=tech.lmin)
+                stage.add_wire(f"W{suffix}", src=child, snk=drain,
+                               w=wire_width, l=wire_len)
+                next_frontier.append(child)
+        frontier = next_frontier
+
+    for leaf in frontier:
+        stage.mark_output(leaf)
+        stage.set_load(leaf, load)
+    return stage
+
+
+def aoi21_gate(tech: Technology, wn: Optional[float] = None,
+               wp: Optional[float] = None,
+               load: float = DEFAULT_LOAD) -> LogicStage:
+    """An AOI21 gate: ``out = not(a0 and a1 or a2)``.
+
+    A branching pull network: the NMOS side is (a0 series a1) parallel
+    a2; the PMOS side is (a0 parallel a1) series a2.  Exercises path
+    extraction through parallel branches, where off-branch devices
+    contribute junction load only.
+    """
+    wn_def, wp_def = _min_widths(tech)
+    wn = wn_def if wn is None else wn
+    wp = wp_def if wp is None else wp
+    stage = LogicStage("aoi21", vdd=tech.vdd)
+    # NMOS: a0-a1 stack parallel to a2.
+    stage.add_nmos("MN1", src="out", snk="n1", gate="a1",
+                   w=wn, l=tech.lmin)
+    stage.add_nmos("MN0", src="n1", snk=GND_NODE, gate="a0",
+                   w=wn, l=tech.lmin)
+    stage.add_nmos("MN2", src="out", snk=GND_NODE, gate="a2",
+                   w=wn, l=tech.lmin)
+    # PMOS: (a0 || a1) in series with a2.
+    stage.add_pmos("MP0", src=VDD_NODE, snk="p1", gate="a0",
+                   w=wp, l=tech.lmin)
+    stage.add_pmos("MP1", src=VDD_NODE, snk="p1", gate="a1",
+                   w=wp, l=tech.lmin)
+    stage.add_pmos("MP2", src="p1", snk="out", gate="a2",
+                   w=wp, l=tech.lmin)
+    stage.mark_output("out")
+    stage.set_load("out", load)
+    return stage
+
+
+def oai21_gate(tech: Technology, wn: Optional[float] = None,
+               wp: Optional[float] = None,
+               load: float = DEFAULT_LOAD) -> LogicStage:
+    """An OAI21 gate: ``out = not((a0 or a1) and a2)``."""
+    wn_def, wp_def = _min_widths(tech)
+    wn = wn_def if wn is None else wn
+    wp = wp_def if wp is None else wp
+    stage = LogicStage("oai21", vdd=tech.vdd)
+    # NMOS: (a0 || a1) in series with a2.
+    stage.add_nmos("MN2", src="out", snk="n1", gate="a2",
+                   w=wn, l=tech.lmin)
+    stage.add_nmos("MN0", src="n1", snk=GND_NODE, gate="a0",
+                   w=wn, l=tech.lmin)
+    stage.add_nmos("MN1", src="n1", snk=GND_NODE, gate="a1",
+                   w=wn, l=tech.lmin)
+    # PMOS: a0-a1 stack parallel to a2.
+    stage.add_pmos("MP0", src=VDD_NODE, snk="p1", gate="a0",
+                   w=wp, l=tech.lmin)
+    stage.add_pmos("MP1", src="p1", snk="out", gate="a1",
+                   w=wp, l=tech.lmin)
+    stage.add_pmos("MP2", src=VDD_NODE, snk="out", gate="a2",
+                   w=wp, l=tech.lmin)
+    stage.mark_output("out")
+    stage.set_load("out", load)
+    return stage
+
+
+def pass_transistor_netlist(tech: Technology,
+                            load: float = DEFAULT_LOAD) -> FlatNetlist:
+    """Fig. 1 (Example 1): NAND2 + pass transistor + wire, as a flat netlist.
+
+    The NAND output ``x`` feeds the diffusion of pass transistor ``M1``
+    through wire ``W1``; extraction must place the NAND, the wire and the
+    pass device in one logic stage (the cell boundary does not coincide
+    with the stage boundary).
+    """
+    wn, wp = _min_widths(tech)
+    net = FlatNetlist("fig1", vdd=tech.vdd)
+    net.add_pmos("MPA", gate="a", src=VDD_NODE, snk="x", w=wp, l=tech.lmin)
+    net.add_pmos("MPB", gate="b", src=VDD_NODE, snk="x", w=wp, l=tech.lmin)
+    net.add_nmos("MNA", gate="a", src="x", snk="m", w=wn, l=tech.lmin)
+    net.add_nmos("MNB", gate="b", src="m", snk=GND_NODE, w=wn, l=tech.lmin)
+    net.add_wire("W1", a="x", b="y", w=tech.wmin, l=30e-6)
+    net.add_nmos("M1", gate="sel", src="y", snk="z", w=wn, l=tech.lmin)
+    # Next stage: an inverter loading node z through its gate.
+    net.add_pmos("MP2", gate="z", src=VDD_NODE, snk="out", w=wp, l=tech.lmin)
+    net.add_nmos("MN2", gate="z", src="out", snk=GND_NODE, w=wn, l=tech.lmin)
+    for sig in ("a", "b", "sel"):
+        net.mark_input(sig)
+    net.mark_output("out")
+    net.set_load("out", load)
+    return net

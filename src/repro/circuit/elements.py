@@ -1,0 +1,31 @@
+"""Circuit element kinds (paper Definition 1: ``Device = {nmos, pmos, wire}``)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class DeviceKind(enum.Enum):
+    """The three circuit-element types of a logic stage."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+    WIRE = "wire"
+
+    @property
+    def is_transistor(self) -> bool:
+        """True for NMOS/PMOS, False for wire segments."""
+        return self is not DeviceKind.WIRE
+
+    @property
+    def polarity(self) -> str:
+        """``"n"`` or ``"p"`` for transistors.
+
+        Raises:
+            ValueError: for wire segments, which have no polarity.
+        """
+        if self is DeviceKind.NMOS:
+            return "n"
+        if self is DeviceKind.PMOS:
+            return "p"
+        raise ValueError("wire segments have no polarity")

@@ -1,0 +1,62 @@
+"""Structural validation of logic stages."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuit.netlist import LogicStage
+
+
+class StageValidationError(ValueError):
+    """A logic stage violates the polar-graph structural rules."""
+
+
+def validate_stage(stage: LogicStage, require_outputs: bool = True) -> None:
+    """Check the structural invariants of a logic stage.
+
+    Verifies that every internal node is connected, that the graph is a
+    single connected component containing both poles, that transistors
+    have gate inputs, and (optionally) that at least one output is
+    marked.
+
+    Raises:
+        StageValidationError: describing every violation found.
+    """
+    problems: List[str] = []
+
+    if not stage.edges:
+        problems.append("stage has no circuit elements")
+
+    for node in stage.internal_nodes:
+        if node.degree == 0:
+            problems.append(f"node {node.name!r} is dangling")
+
+    for edge in stage.edges:
+        if edge.kind.is_transistor and not edge.gate_input:
+            problems.append(f"transistor {edge.name!r} has no gate input")
+        if edge.w <= 0 or edge.l <= 0:
+            problems.append(f"edge {edge.name!r} has non-positive geometry")
+
+    # Connectivity: every node with incident edges must be reachable from
+    # one of the poles through element edges (ignoring direction).
+    if stage.edges:
+        seen = set()
+        frontier = [stage.source, stage.sink]
+        while frontier:
+            node = frontier.pop()
+            if node.name in seen:
+                continue
+            seen.add(node.name)
+            for edge in node.edges:
+                frontier.append(edge.other(node))
+        for node in stage.nodes:
+            if node.degree > 0 and node.name not in seen:
+                problems.append(
+                    f"node {node.name!r} unreachable from the poles")
+
+    if require_outputs and not stage.outputs:
+        problems.append("stage has no marked outputs")
+
+    if problems:
+        raise StageValidationError(
+            f"stage {stage.name!r}: " + "; ".join(problems))

@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``sta DECK.sp``
+    Parse a SPICE-style deck, extract logic stages, run QWM-driven
+    longest-path STA, and print the arrival/critical-path reports.
+    ``--required 500p`` adds slack; ``--corners`` re-times at the
+    process corners.
+
+``simulate DECK.sp --input a=step:0:3.3:20p --node out``
+    Transient-simulate a single-stage deck with the reference engine
+    and print the measured delay plus an ASCII waveform plot.
+
+``characterize``
+    Characterize the device tables and print their statistics.
+
+Voltage/time values accept SPICE suffixes (``20p``, ``3.3``, ``50f``).
+Source specs: ``name=step:v0:v1:t``, ``name=ramp:v0:v1:t0:trise``,
+``name=dc:v``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.analysis import IncrementalTimer
+from repro.analysis.report import (
+    arrival_report,
+    corner_report,
+    critical_path_report,
+    design_summary,
+)
+from repro.circuit import extract_stages
+from repro.devices import CMOSP35, TableModelLibrary
+from repro.devices.corners import all_corners
+from repro.io import ascii_plot, parse_spice_netlist
+from repro.io.spice_netlist import parse_value
+from repro.spice import (
+    ConstantSource,
+    RampSource,
+    Source,
+    StepSource,
+    TransientOptions,
+    TransientSimulator,
+)
+
+
+def parse_source_spec(spec: str) -> (str, Source):
+    """Parse ``name=kind:args`` into an input name and a Source."""
+    if "=" not in spec:
+        raise ValueError(f"expected name=spec, got {spec!r}")
+    name, body = spec.split("=", 1)
+    parts = body.split(":")
+    kind = parts[0].lower()
+    args = [parse_value(p) for p in parts[1:]]
+    if kind == "dc" and len(args) == 1:
+        return name, ConstantSource(args[0])
+    if kind == "step" and len(args) == 3:
+        return name, StepSource(args[0], args[1], args[2])
+    if kind == "ramp" and len(args) == 4:
+        return name, RampSource(args[0], args[1], args[2], args[3])
+    raise ValueError(f"bad source spec {spec!r} (kinds: dc:v, "
+                     "step:v0:v1:t, ramp:v0:v1:t0:trise)")
+
+
+def _cmd_sta(args: argparse.Namespace) -> int:
+    tech = CMOSP35
+    with open(args.deck) as handle:
+        text = handle.read()
+    required = parse_value(args.required) if args.required else None
+
+    def run(technology):
+        netlist = parse_spice_netlist(text, technology, name=args.deck)
+        graph = extract_stages(netlist, tech=technology)
+        timer = IncrementalTimer(technology, graph)
+        return graph, timer.analyze()
+
+    graph, result = run(tech)
+    print(design_summary(graph, result))
+    print()
+    print(critical_path_report(result, required=required))
+    print()
+    print(arrival_report(result, limit=args.limit))
+
+    if args.corners:
+        delays = {}
+        for name, corner_tech in all_corners(tech).items():
+            _, corner_result = run(corner_tech)
+            if corner_result.worst is not None:
+                delays[name] = corner_result.worst.time
+        print()
+        print(corner_report(delays))
+    if required is not None and result.worst is not None \
+            and result.worst.time > required:
+        return 1
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    tech = CMOSP35
+    with open(args.deck) as handle:
+        text = handle.read()
+    netlist = parse_spice_netlist(text, tech, name=args.deck)
+    graph = extract_stages(netlist, tech=tech)
+    if len(graph.stages) != 1:
+        print(f"error: simulate needs a single-stage deck "
+              f"(found {len(graph.stages)} stages)", file=sys.stderr)
+        return 2
+    stage = graph.stages[0]
+
+    sources: Dict[str, Source] = {}
+    for spec in args.input or []:
+        name, source = parse_source_spec(spec)
+        sources[name] = source
+    for name in stage.inputs:
+        sources.setdefault(name, ConstantSource(0.0))
+
+    options = TransientOptions(t_stop=parse_value(args.t_stop),
+                               dt=parse_value(args.dt))
+    result = TransientSimulator(stage, tech, options).run(sources)
+
+    nodes = args.node or [n.name for n in stage.outputs] \
+        or result.node_names[:1]
+    for node in nodes:
+        delay = result.delay_50(node, tech.vdd)
+        slew_fall = result.slew(node, tech.vdd, "fall")
+        slew_rise = result.slew(node, tech.vdd, "rise")
+        slews = []
+        if slew_fall:
+            slews.append(f"fall slew {slew_fall * 1e12:.1f} ps")
+        if slew_rise:
+            slews.append(f"rise slew {slew_rise * 1e12:.1f} ps")
+        delay_text = (f"50% at {delay * 1e12:.1f} ps"
+                      if delay is not None else "no 50% crossing")
+        print(f"{node}: {delay_text}" + ("; " + ", ".join(slews)
+                                         if slews else ""))
+    if not args.no_plot:
+        print()
+        print(ascii_plot(result, nodes, width=args.width))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    tech = CMOSP35
+    library = TableModelLibrary(tech, grid_step=parse_value(args.grid_step))
+    for polarity in args.polarity:
+        table = library.get(polarity)
+        grid = table.grid
+        print(f"{polarity}-table: {grid.vs_values.size}x"
+              f"{grid.vg_values.size} grid points, "
+              f"{grid.n_parameters} parameters "
+              f"(w_ref={grid.w_ref * 1e6:.2f} um, "
+              f"l_ref={grid.l_ref * 1e6:.2f} um)")
+        ion = table.iv(grid.w_ref, grid.l_ref,
+                       tech.vdd if polarity == "n" else 0.0,
+                       tech.vdd, 0.0)
+        print(f"  Ion({polarity}) = {abs(ion) * 1e3:.3f} mA, "
+              f"vth0 = {table.threshold(tech.vdd, 0.0, 0.0):.3f} V")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Transistor-level STA by piecewise quadratic "
+                    "waveform matching (Wang & Zhu, DATE 2003)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sta = sub.add_parser("sta", help="longest-path STA over a deck")
+    sta.add_argument("deck")
+    sta.add_argument("--required", default=None,
+                     help="required arrival time (e.g. 500p)")
+    sta.add_argument("--corners", action="store_true",
+                     help="also time the process corners")
+    sta.add_argument("--limit", type=int, default=20,
+                     help="arrival-report row limit")
+    sta.set_defaults(func=_cmd_sta)
+
+    sim = sub.add_parser("simulate",
+                         help="reference-simulate a single-stage deck")
+    sim.add_argument("deck")
+    sim.add_argument("--input", action="append",
+                     help="source spec, e.g. a=step:0:3.3:20p")
+    sim.add_argument("--node", action="append",
+                     help="node(s) to report/plot")
+    sim.add_argument("--t-stop", default="500p")
+    sim.add_argument("--dt", default="1p")
+    sim.add_argument("--width", type=int, default=72)
+    sim.add_argument("--no-plot", action="store_true")
+    sim.set_defaults(func=_cmd_simulate)
+
+    char = sub.add_parser("characterize",
+                          help="build and describe the device tables")
+    char.add_argument("--polarity", nargs="+", default=["n", "p"],
+                      choices=["n", "p"])
+    char.add_argument("--grid-step", default="0.1")
+    char.set_defaults(func=_cmd_characterize)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""The paper's contribution: piecewise Quadratic Waveform Matching.
+
+QWM replaces SPICE's dense time-stepping with algebraic solves at a
+handful of *critical points*.  Between critical points every node
+current is modeled as linear in time — hence every node voltage as
+quadratic — and the free parameters are fixed by *matching* the
+capacitor currents against the tabular device model's channel currents
+at the critical instants (paper Section IV).
+
+Public entry point: :class:`~repro.core.engine.WaveformEvaluator`.
+
+Module map:
+
+* :mod:`repro.core.waveforms` — piecewise-quadratic waveform objects.
+* :mod:`repro.core.path` — charge/discharge path extraction from a
+  logic stage (with AWE π reduction of multi-segment wires).
+* :mod:`repro.core.matching` — the per-region algebraic system
+  (residual + bordered-tridiagonal Jacobian, paper Eq. 7/9).
+* :mod:`repro.core.qwm` — the region scheduler / critical-point solver.
+* :mod:`repro.core.engine` — the user-facing evaluator.
+"""
+
+from repro.core.waveforms import PiecewiseQuadraticWaveform, QuadraticPiece
+from repro.core.path import DischargePath, PathDevice, extract_path
+from repro.core.matching import CrossingCondition, RegionSystem, TurnOnCondition
+from repro.core.qwm import QWMOptions, QWMSolution, QWMSolver
+from repro.core.engine import WaveformEvaluator
+
+__all__ = [
+    "PiecewiseQuadraticWaveform",
+    "QuadraticPiece",
+    "DischargePath",
+    "PathDevice",
+    "extract_path",
+    "CrossingCondition",
+    "RegionSystem",
+    "TurnOnCondition",
+    "QWMOptions",
+    "QWMSolution",
+    "QWMSolver",
+    "WaveformEvaluator",
+]

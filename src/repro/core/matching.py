@@ -1,0 +1,290 @@
+"""The per-region matching system (paper Eq. 7 and 9).
+
+One QWM region spans ``[tau, tau']``.  The unknowns are the end-of-region
+frame voltages of the ``M`` active nodes plus the end time itself,
+
+    x = [u_1', ..., u_M', tau'].
+
+Linear-current / quadratic-voltage waveforms link the end-of-region
+current to the voltages,
+
+    I_k' = 2 C_k (u_k' - u_k) / (tau' - tau) - I_k,
+
+and the matching equations demand that these capacitor currents equal
+the difference of the device currents the tabular model predicts,
+
+    F_k = I_k' - (J_{k+1}' - J_k') = 0,          k = 1..M,
+
+closed by a *condition* row that pins tau': either the turn-on of the
+next transistor up the path (``gate drive = threshold``) or an output
+voltage crossing (the milestone regions after the cascade completes).
+
+The Jacobian is tridiagonal except for its last column (the tau'
+derivatives of rows 1..M-1); :meth:`RegionSystem.newton_solve` exploits
+this via the Thomas + Sherman-Morrison combination of
+:mod:`repro.linalg`, exactly as the paper's Section IV-B prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.path import DischargePath
+from repro.linalg.sherman_morrison import solve_bordered_tridiagonal
+from repro.linalg.tridiagonal import TridiagonalMatrix
+from repro.linalg.newton import (
+    NewtonConvergenceError,
+    NewtonOptions,
+    NewtonResult,
+    NewtonSolver,
+)
+from repro.spice.sources import Source
+
+
+@dataclass(frozen=True)
+class TurnOnCondition:
+    """Region ends when device ``device_index`` (1-based) turns on.
+
+    The condition is paper Eq. 7's last line: the frame gate drive of
+    the next transistor equals its threshold,
+    ``G_frame(tau') - u_source(tau') = vth``.
+    """
+
+    device_index: int
+
+
+@dataclass(frozen=True)
+class CrossingCondition:
+    """Region ends when the last active node reaches ``target`` (frame V)."""
+
+    target: float
+
+
+class RegionSystem:
+    """Assembles and solves one region's matching equations.
+
+    Args:
+        path: the extracted pull path.
+        sources: gate input name -> actual-domain Source.
+        active: number of active nodes M (1..K); nodes above M are
+            frozen at their region-start values.
+        tau: region start time [s].
+        u_start: frame voltages of *all* K nodes at tau.
+        i_start: frame node currents of all K nodes at tau [A]
+            (``I_k = C_k du_k/dt``; negative while discharging).
+        condition: the row closing the system.
+        caps: per-node capacitances to use for this region [F]; defaults
+            to the path's full-swing equivalents.  The solver passes
+            span-matched equivalents here (see
+            :meth:`DischargePath.equivalent_caps`).
+        order: waveform order — 2 (default) is the paper's linear-
+            current / quadratic-voltage model with the trapezoidal link
+            ``I' = 2C(u'-u)/d - I``; 1 is the constant-current /
+            linear-voltage ablation with ``I' = C(u'-u)/d``.
+    """
+
+    def __init__(self, path: DischargePath, sources: Dict[str, Source],
+                 active: int, tau: float, u_start: np.ndarray,
+                 i_start: np.ndarray,
+                 condition, caps: Optional[np.ndarray] = None,
+                 order: int = 2) -> None:
+        if not 1 <= active <= path.length:
+            raise ValueError("active node count out of range")
+        self.path = path
+        self.sources = sources
+        self.m = active
+        self.tau = tau
+        self.u_start = np.asarray(u_start, dtype=float)
+        self.i_start = np.asarray(i_start, dtype=float)
+        self.condition = condition
+        self.caps = (path.node_caps if caps is None
+                     else np.asarray(caps, dtype=float))
+        if order not in (1, 2):
+            raise ValueError("waveform order must be 1 or 2")
+        self.order = order
+        self.vdd = path.vdd
+        self._min_delta = 1e-16
+        self._cache_key: Optional[bytes] = None
+        self._cache_value = None
+        if isinstance(condition, TurnOnCondition):
+            if not (2 <= condition.device_index <= path.length):
+                raise ValueError("turn-on device index out of range")
+            if condition.device_index != active + 1:
+                raise ValueError(
+                    "turn-on condition must target the device just above "
+                    "the active frontier")
+
+    # ------------------------------------------------------------------
+    def _gate_actual(self, device_idx: int, t: float) -> float:
+        """Actual gate voltage of device ``device_idx`` (1-based) at t."""
+        device = self.path.devices[device_idx - 1]
+        if device.gate is None:
+            return 0.0
+        return self.sources[device.gate].value(t)
+
+    def _gate_slope(self, device_idx: int, t: float) -> float:
+        device = self.path.devices[device_idx - 1]
+        if device.gate is None:
+            return 0.0
+        return self.sources[device.gate].slope(t)
+
+    def _u_at(self, values: np.ndarray, node_idx: int) -> float:
+        """Frame voltage of node ``node_idx`` (0 = rail) given unknowns."""
+        if node_idx == 0:
+            return 0.0
+        if node_idx <= self.m:
+            return float(values[node_idx - 1])
+        return float(self.u_start[node_idx - 1])  # frozen above frontier
+
+    # ------------------------------------------------------------------
+    def residual_and_parts(self, x: np.ndarray) -> Tuple[
+            np.ndarray, TridiagonalMatrix, np.ndarray]:
+        """Residual, in-band Jacobian, and the extra last-column vector.
+
+        Returns ``(F, A, u_col)`` where the full Jacobian is
+        ``A + u_col e_{M+1}^T`` (``u_col`` is zero in its last two rows,
+        whose tau' entries live inside the band).  Results are memoized
+        on ``x`` since the Newton driver requests the residual and the
+        Jacobian separately.
+        """
+        key = np.asarray(x, dtype=float).tobytes()
+        if key == self._cache_key:
+            return self._cache_value
+        value = self._compute_parts(np.asarray(x, dtype=float))
+        self._cache_key = key
+        self._cache_value = value
+        return value
+
+    def _compute_parts(self, x: np.ndarray) -> Tuple[
+            np.ndarray, TridiagonalMatrix, np.ndarray]:
+        m = self.m
+        n = m + 1
+        u_new = x[:m]
+        tau_new = float(x[m])
+        delta = max(tau_new - self.tau, self._min_delta)
+        path = self.path
+        caps = self.caps
+
+        f = np.zeros(n)
+        diag = np.zeros(n)
+        lower = np.zeros(n - 1)
+        upper = np.zeros(n - 1)
+        last_col = np.zeros(n)
+
+        # Miller injection from moving gates (zero for step inputs away
+        # from the step instant; the scheduler handles step kicks).
+        injection = path.coupling_injection(self.sources, tau_new)
+
+        # Device currents J_k (device k connects node k-1 and node k).
+        # We evaluate devices 1..min(m+1, K): device m+1 (just above the
+        # frontier) sees a frozen outer node but still injects current
+        # into node m (it is usually sub-threshold there).
+        top_device = min(m + 1, path.length)
+        currents: List[Tuple[float, float, float, float]] = []
+        for k in range(1, top_device + 1):
+            device = path.devices[k - 1]
+            gate_v = self._gate_actual(k, tau_new)
+            j, dj_inner, dj_outer, dj_gate = device.frame_current(
+                gate_v, self._u_at(u_new, k - 1), self._u_at(u_new, k),
+                self.vdd)
+            dj_dtau = dj_gate * self._gate_slope(k, tau_new)
+            currents.append((j, dj_inner, dj_outer, dj_dtau))
+
+        order = float(self.order)
+        for k in range(1, m + 1):
+            c_k = caps[k - 1]
+            i_new = (order * c_k
+                     * (u_new[k - 1] - self.u_start[k - 1]) / delta
+                     - (order - 1.0) * self.i_start[k - 1])
+            j_k, djk_in, djk_out, djk_tau = currents[k - 1]
+            if k < len(currents) + 1 and k <= top_device - 1:
+                j_up, dju_in, dju_out, dju_tau = currents[k]
+            else:
+                j_up, dju_in, dju_out, dju_tau = 0.0, 0.0, 0.0, 0.0
+            row = k - 1
+            f[row] = i_new - (j_up - j_k) - injection[k - 1]
+            diag[row] = order * c_k / delta + djk_out - dju_in
+            if k >= 2:
+                lower[row - 1] = djk_in
+            if k + 1 <= m:
+                upper[row] = -dju_out
+            d_tau = (-order * c_k * (u_new[k - 1] - self.u_start[k - 1])
+                     / (delta * delta) + djk_tau - dju_tau)
+            if k == m:
+                upper[m - 1] = d_tau  # in-band: row m, column m+1
+            else:
+                last_col[row] = d_tau
+
+        # Condition row (row index m, 1-based row m+1).
+        if isinstance(self.condition, CrossingCondition):
+            f[m] = u_new[m - 1] - self.condition.target
+            lower[m - 1] = 1.0
+            diag[m] = 0.0
+        else:
+            idx = self.condition.device_index
+            device = path.devices[idx - 1]
+            gate_v = self._gate_actual(idx, tau_new)
+            u_src = float(u_new[m - 1])
+            vth = device.threshold(gate_v, u_src, self.vdd)
+            h = 1e-3
+            vth_hi = device.threshold(gate_v, u_src + h, self.vdd)
+            dvth_du = (vth_hi - vth) / h
+            g_frame = device.frame_gate(gate_v, self.vdd)
+            g_slope = (device.frame_gate_slope_sign()
+                       * self._gate_slope(idx, tau_new))
+            f[m] = u_src + vth - g_frame
+            lower[m - 1] = 1.0 + dvth_du
+            diag[m] = -g_slope
+
+        matrix = TridiagonalMatrix(lower=lower, diag=diag, upper=upper)
+        return f, matrix, last_col
+
+    def residual(self, x: np.ndarray) -> np.ndarray:
+        """Residual only (for the Newton driver)."""
+        f, _, _ = self.residual_and_parts(x)
+        return f
+
+    def dense_jacobian(self, x: np.ndarray) -> np.ndarray:
+        """Full dense Jacobian (fallback path and for testing)."""
+        _, matrix, last_col = self.residual_and_parts(x)
+        dense = matrix.to_dense()
+        dense[:, -1] += last_col
+        return dense
+
+    # ------------------------------------------------------------------
+    def newton_solve(self, x0: np.ndarray,
+                     options: Optional[NewtonOptions] = None,
+                     use_sherman_morrison: bool = True) -> NewtonResult:
+        """Solve the region system from an initial guess.
+
+        The linear solves use the O(K) Thomas + Sherman-Morrison path by
+        default, falling back to dense LU if the structured solve hits a
+        singular pivot.
+
+        Raises:
+            NewtonConvergenceError: if Newton fails to converge.
+        """
+        opts = options or NewtonOptions(
+            abstol=1e-10, xtol=1e-15, max_iterations=60)
+        solver = NewtonSolver(opts)
+
+        def jacobian(x: np.ndarray):
+            _, matrix, last_col = self.residual_and_parts(x)
+            return (matrix, last_col)
+
+        def linear_solve(jac, rhs: np.ndarray) -> np.ndarray:
+            matrix, last_col = jac
+            if use_sherman_morrison:
+                try:
+                    return solve_bordered_tridiagonal(matrix, last_col, rhs)
+                except np.linalg.LinAlgError:
+                    pass
+            dense = matrix.to_dense()
+            dense[:, -1] += last_col
+            return np.linalg.solve(dense, rhs)
+
+        return solver.solve(self.residual, jacobian, x0,
+                            linear_solve=linear_solve)

@@ -1,0 +1,562 @@
+"""The QWM region scheduler: transient solution at K critical points.
+
+Implements the paper's piecewise strategy (Section IV-A): "divide the
+transient process into K regions according to the critical points; then
+solve for the parameters of each region by matching currents at the
+corresponding critical point."
+
+The schedule for a pull path of K devices:
+
+1. **Activation** — find when the switching input turns the first path
+   transistor on (for a step, the step instant).
+2. **Cascade regions** — while transistors above the moving frontier are
+   still off, each region ends at the next turn-on critical point: the
+   frame gate drive of the device above equals its threshold (the
+   single-current-peak observation of Fig. 7).  Devices that are already
+   (marginally) on — and wire macros, which are always on — advance the
+   frontier with a zero-length region.
+3. **Milestone regions** — once every device conducts, matching
+   continues at fixed output-voltage crossings so the full waveform and
+   any delay metric are available.
+
+Every region is one small Newton solve (paper: "complexity equivalent to
+only K DC operating point calculations").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.matching import (
+    CrossingCondition,
+    RegionSystem,
+    TurnOnCondition,
+)
+from repro.circuit.elements import DeviceKind
+from repro.core.path import DischargePath
+from repro.core.waveforms import PiecewiseQuadraticWaveform, QuadraticPiece
+from repro.linalg.newton import NewtonConvergenceError, NewtonOptions
+from repro.spice.results import SimulationStats, TransientResult
+from repro.spice.sources import SourceLike, as_source
+
+
+@dataclass
+class QWMOptions:
+    """Controls for :class:`QWMSolver`.
+
+    Attributes:
+        milestone_fractions: output frame-voltage crossings (fractions of
+            vdd) matched after the turn-on cascade completes.
+        newton: Newton controls for the per-region solves.
+        turn_on_margin: drive margin [V] under which a device counts as
+            already on (zero-length region).
+        cascade_substeps: matching points per turn-on region.  1 is the
+            paper's baseline (one critical point per transistor); higher
+            values insert intermediate voltage-crossing matches inside
+            each region, trading solves for accuracy (the paper's
+            closing remark: "more sophisticated ... critical point model
+            may help further improve speed and accuracy").
+        t_stop: absolute time bound for the schedule [s].
+        use_sherman_morrison: solve regions with the O(K) bordered-
+            tridiagonal path (False = dense LU, for the ablation bench).
+        max_retries: initial-guess perturbations tried per region before
+            giving up.
+    """
+
+    milestone_fractions: Tuple[float, ...] = (
+        1.10, 1.00, 0.90, 0.80, 0.70, 0.60, 0.50, 0.40, 0.30, 0.20,
+        0.12, 0.06)
+    newton: NewtonOptions = field(default_factory=lambda: NewtonOptions(
+        abstol=1e-10, xtol=1e-16, max_iterations=40))
+    turn_on_margin: float = 2e-3
+    cascade_substeps: int = 2
+    waveform_order: int = 2
+    t_stop: float = 5e-9
+    use_sherman_morrison: bool = True
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.waveform_order not in (1, 2):
+            raise ValueError("waveform_order must be 1 (piecewise linear)"
+                             " or 2 (piecewise quadratic)")
+
+
+@dataclass
+class QWMSolution:
+    """Result of a QWM evaluation.
+
+    Attributes:
+        path: the evaluated pull path.
+        waveforms: node name -> piecewise-quadratic waveform in *actual*
+            volts (frame conversion already applied).
+        critical_times: solved region boundaries [s].
+        stats: cost accounting (steps = regions solved).
+    """
+
+    path: DischargePath
+    waveforms: Dict[str, PiecewiseQuadraticWaveform]
+    critical_times: List[float]
+    stats: SimulationStats
+
+    @property
+    def output_waveform(self) -> PiecewiseQuadraticWaveform:
+        return self.waveforms[self.path.node_names[-1]]
+
+    def delay(self, t_input: float = 0.0,
+              fraction: float = 0.5) -> Optional[float]:
+        """Propagation delay to the output's ``fraction * vdd`` crossing."""
+        level = fraction * self.path.vdd
+        crossing = self.output_waveform.crossing_time(level)
+        if crossing is None:
+            return None
+        return crossing - t_input
+
+    def to_transient_result(self,
+                            times: Optional[np.ndarray] = None
+                            ) -> TransientResult:
+        """Sample the piecewise waveforms into a TransientResult.
+
+        By default samples exactly at the critical points — the paper
+        plots QWM "as straight solid lines connecting the critical
+        points calculated by QWM".
+        """
+        if times is None:
+            times = self.output_waveform.breakpoints
+        times = np.asarray(times, dtype=float)
+        voltages = {name: wave.sample(times)
+                    for name, wave in self.waveforms.items()}
+        return TransientResult(times=times, voltages=voltages,
+                               stats=self.stats, label="qwm")
+
+
+class QWMSolver:
+    """Piecewise quadratic waveform matching on one pull path.
+
+    Args:
+        path: extracted by :func:`repro.core.path.extract_path`.
+        options: scheduler controls.
+    """
+
+    def __init__(self, path: DischargePath,
+                 options: Optional[QWMOptions] = None):
+        self.path = path
+        self.options = options or QWMOptions()
+
+    # ------------------------------------------------------------------
+    def solve(self, inputs: Dict[str, SourceLike],
+              initial: Dict[str, float],
+              t_start: float = 0.0) -> QWMSolution:
+        """Run the QWM schedule.
+
+        Args:
+            inputs: gate input name -> source (actual domain).
+            initial: node name -> initial *actual* voltage [V] for every
+                path node.
+            t_start: schedule start time [s].
+
+        Returns:
+            The solved :class:`QWMSolution`.
+        """
+        path = self.path
+        opts = self.options
+        sources = {name: as_source(src) for name, src in inputs.items()}
+        for dev in path.devices:
+            if dev.is_transistor and dev.gate not in sources:
+                raise ValueError(f"missing source for input {dev.gate!r}")
+
+        k_total = path.length
+        u = np.array([path.to_frame(initial[name])
+                      for name in path.node_names])
+        i = np.zeros(k_total)
+        pieces: List[List[QuadraticPiece]] = [[] for _ in range(k_total)]
+        critical_times: List[float] = [t_start]
+        stats = SimulationStats()
+        tables = {id(d.table): d.table for d in path.devices if d.table}
+        queries_before = sum(t.query_count for t in tables.values())
+
+        wall_start = time.perf_counter()
+        tau = t_start
+        frontier = 0
+        # A step exactly at the schedule start couples its Miller charge
+        # immediately (later steps are handled at their activation time).
+        u += path.coupling_kick(sources, t_start,
+                                path.equivalent_caps(u, u))
+
+        def record(tau0: float, tau1: float, u_new: np.ndarray,
+                   i_new: np.ndarray, active: int,
+                   caps: Optional[np.ndarray] = None,
+                   order: Optional[int] = None) -> None:
+            duration = tau1 - tau0
+            if duration <= 0:
+                return
+            if caps is None:
+                caps = path.node_caps
+            if order is None:
+                order = opts.waveform_order
+            for k in range(k_total):
+                if k >= active:
+                    pieces[k].append(QuadraticPiece(
+                        t0=tau0, t1=tau1, v0=u[k], slope=0.0, curve=0.0))
+                elif order == 1:
+                    pieces[k].append(QuadraticPiece(
+                        t0=tau0, t1=tau1, v0=u[k],
+                        slope=(u_new[k] - u[k]) / duration, curve=0.0))
+                else:
+                    alpha = (i_new[k] - i[k]) / duration
+                    pieces[k].append(QuadraticPiece(
+                        t0=tau0, t1=tau1, v0=u[k],
+                        slope=i[k] / caps[k],
+                        curve=0.5 * alpha / caps[k]))
+
+        # ------------------------------------------------------------
+        # Phase 1 + 2: activation and the turn-on cascade.  Whenever the
+        # frontier moves without a solve (wire macros, devices already
+        # on, the input-driven activation itself), the node currents are
+        # re-seeded from the device model: the matching equations make
+        # this a no-op at solved boundaries, and it captures the current
+        # discontinuity a step input causes.
+        # ------------------------------------------------------------
+        while frontier < k_total and tau < opts.t_stop:
+            next_idx = frontier + 1
+            device = path.devices[next_idx - 1]
+            if not device.is_transistor:
+                frontier = next_idx
+                i = self._model_currents(sources, frontier, tau, u)
+                continue
+            u_src = u[frontier - 1] if frontier >= 1 else 0.0
+            if self._drive(device, sources, tau, u_src) >= -opts.turn_on_margin:
+                frontier = next_idx
+                i = self._model_currents(sources, frontier, tau, u)
+                continue
+            active_current = (float(np.max(np.abs(i[:frontier])))
+                              if frontier > 0 else 0.0)
+            if frontier == 0 or active_current < 1e-9:
+                # Nothing below the frontier is (meaningfully) moving:
+                # the turn-on is purely input-driven, and for a step
+                # gate the condition is a discontinuity Newton cannot
+                # cross — resolve the instant by bisection instead.
+                tau_on = self._activation_time(device, sources, tau,
+                                               opts.t_stop, u_src)
+                if tau_on is None:
+                    break
+                record(tau, tau_on, u, i, active=0)
+                tau = tau_on
+                critical_times.append(tau)
+                frontier = next_idx
+                # Ideal steps at the activation instant couple charge
+                # into the path nodes through the gate (Miller) caps.
+                caps_now = path.equivalent_caps(u, u)
+                u += path.coupling_kick(sources, tau, caps_now)
+                i = self._model_currents(sources, frontier, tau, u)
+                continue
+            # Solve the turn-on region for the current frontier, with
+            # optional intermediate matching points along the way.
+            failed = False
+            for condition in self._cascade_conditions(
+                    device, sources, tau, u, frontier, next_idx):
+                solved = self._solve_region(sources, frontier, tau, u, i,
+                                            condition, stats)
+                if solved is None:
+                    failed = True
+                    break
+                tau_new, u_new, i_new, caps_used, order_used = solved
+                record(tau, tau_new, u_new, i_new, active=frontier,
+                       caps=caps_used, order=order_used)
+                u[:frontier] = u_new[:frontier]
+                i[:frontier] = i_new[:frontier]
+                tau = tau_new
+                critical_times.append(tau)
+            if failed:
+                break
+            frontier = next_idx
+            i = self._model_currents(sources, frontier, tau, u,
+                                     fallback=i)
+
+        # ------------------------------------------------------------
+        # Phase 3: milestone matching on the output node.
+        # ------------------------------------------------------------
+        if frontier == k_total:
+            worklist = [f * path.vdd for f in opts.milestone_fractions]
+            # Deep-tail targets can sit arbitrarily close to the slow
+            # exponential floor; a bounded failure budget keeps a few
+            # hard crossings from consuming the whole retry machinery.
+            failure_budget = 3
+            while worklist and tau < opts.t_stop and failure_budget > 0:
+                target = worklist.pop(0)
+                if target >= u[k_total - 1] - 1e-6:
+                    continue
+                condition = CrossingCondition(target)
+                solved = self._solve_region(sources, k_total, tau, u, i,
+                                            condition, stats)
+                if solved is None:
+                    failure_budget -= 1
+                    # Split the crossing: aim for the midpoint first.
+                    mid = 0.5 * (u[k_total - 1] + target)
+                    if u[k_total - 1] - mid > 5e-3:
+                        worklist[:0] = [mid, target]
+                        continue
+                    break
+                tau_new, u_new, i_new, caps_used, order_used = solved
+                record(tau, tau_new, u_new, i_new, active=k_total,
+                       caps=caps_used, order=order_used)
+                u[:] = u_new
+                i[:] = i_new
+                tau = tau_new
+                critical_times.append(tau)
+
+        stats.wall_time = time.perf_counter() - wall_start
+        stats.device_evaluations = (
+            sum(t.query_count for t in tables.values()) - queries_before)
+
+        waveforms: Dict[str, PiecewiseQuadraticWaveform] = {}
+        for k, name in enumerate(path.node_names):
+            node_pieces = pieces[k]
+            if not node_pieces:
+                node_pieces = [QuadraticPiece(
+                    t0=t_start, t1=max(tau, t_start + 1e-15),
+                    v0=u[k], slope=0.0, curve=0.0)]
+            if path.direction == "rise":
+                node_pieces = [QuadraticPiece(
+                    t0=p.t0, t1=p.t1, v0=path.vdd - p.v0,
+                    slope=-p.slope, curve=-p.curve) for p in node_pieces]
+            waveforms[name] = PiecewiseQuadraticWaveform(node_pieces)
+
+        return QWMSolution(path=path, waveforms=waveforms,
+                           critical_times=critical_times, stats=stats)
+
+    # ------------------------------------------------------------------
+    def _model_currents(self, sources, frontier: int, tau: float,
+                        u: np.ndarray,
+                        fallback: Optional[np.ndarray] = None) -> np.ndarray:
+        """Node currents implied by the device model at a frontier state.
+
+        ``I_k = J_{k+1} - J_k`` for the active nodes (evaluating the
+        device just above the frontier too, which carries only its
+        sub-threshold current there); frozen nodes keep zero (or their
+        ``fallback`` value).
+        """
+        path = self.path
+        k_total = path.length
+        i = np.zeros(k_total) if fallback is None else fallback.copy()
+        top = min(frontier + 1, k_total)
+        currents = np.zeros(k_total + 2)
+        for k in range(1, top + 1):
+            device = path.devices[k - 1]
+            gate_v = (sources[device.gate].value(tau)
+                      if device.gate else 0.0)
+            u_inner = u[k - 2] if k >= 2 else 0.0
+            currents[k], _, _, _ = device.frame_current(
+                gate_v, u_inner, u[k - 1], path.vdd)
+        injection = path.coupling_injection(sources, tau)
+        for k in range(1, frontier + 1):
+            i[k - 1] = currents[k + 1] - currents[k] + injection[k - 1]
+        return i
+
+    def _cascade_conditions(self, device, sources, tau: float,
+                            u: np.ndarray, frontier: int,
+                            next_idx: int) -> List[object]:
+        """Conditions for one turn-on region (with optional substeps).
+
+        The final condition is always the exact turn-on of device
+        ``next_idx``; with ``cascade_substeps > 1``, intermediate
+        crossings of the frontier node are matched first, splitting the
+        voltage gap evenly.
+        """
+        n_sub = max(self.options.cascade_substeps, 1)
+        conditions: List[object] = []
+        if n_sub > 1:
+            gate_v = sources[device.gate].value(tau)
+            u_now = u[frontier - 1]
+            vth = device.threshold(gate_v, u_now, self.path.vdd)
+            u_target = device.frame_gate(gate_v, self.path.vdd) - vth
+            gap = u_target - u_now
+            # Substeps only make sense for a node-driven turn-on (the
+            # source node falling toward a non-negative target); an
+            # input-driven turn-on (gate still ramping, target below
+            # ground) is resolved purely by the final condition's time
+            # axis.
+            if gap < -5e-3 and u_target >= 0.0:
+                for j in range(1, n_sub):
+                    conditions.append(
+                        CrossingCondition(u_now + gap * j / n_sub))
+        conditions.append(TurnOnCondition(next_idx))
+        return conditions
+
+    def _drive(self, device, sources, t: float, u_src: float) -> float:
+        """Frame gate drive minus threshold for a path transistor."""
+        gate_v = sources[device.gate].value(t)
+        vth = device.threshold(gate_v, u_src, self.path.vdd)
+        return device.frame_gate(gate_v, self.path.vdd) - u_src - vth
+
+    def _activation_time(self, device, sources, t0: float, t1: float,
+                         u_src: float) -> Optional[float]:
+        """Earliest t in [t0, t1] where the device's drive reaches zero."""
+        if self._drive(device, sources, t1, u_src) < 0:
+            return None
+        lo, hi = t0, t1
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if self._drive(device, sources, mid, u_src) >= 0:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def _initial_guess(self, sources, active: int, tau: float,
+                       u: np.ndarray, i: np.ndarray, condition,
+                       scale: float = 1.0) -> np.ndarray:
+        """Rate-based extrapolation seed for a region solve."""
+        path = self.path
+        vdd = path.vdd
+        # Instantaneous device currents at the region start.
+        top = min(active + 1, path.length)
+        currents = np.zeros(path.length + 2)
+        for k in range(1, top + 1):
+            device = path.devices[k - 1]
+            gate_v = (sources[device.gate].value(tau)
+                      if device.gate else 0.0)
+            u_inner = u[k - 2] if k >= 2 else 0.0
+            currents[k], _, _, _ = device.frame_current(
+                gate_v, u_inner, u[k - 1], vdd)
+        rates = np.array([
+            (currents[k + 1] - currents[k]) / path.node_caps[k - 1]
+            for k in range(1, active + 1)])
+
+        if isinstance(condition, CrossingCondition):
+            target = condition.target
+        else:
+            device = path.devices[condition.device_index - 1]
+            gate_v = sources[device.gate].value(tau)
+            vth = device.threshold(gate_v, u[active - 1], vdd)
+            target = device.frame_gate(gate_v, vdd) - vth
+            if target <= u[active - 1] - 2.0 * vdd or target < -0.1:
+                target = u[active - 1]  # degenerate; rely on time guess
+            # If the gate itself is still moving (a ramping input), the
+            # turn-on is (partly) input-driven: estimate the time by
+            # bisection with the source node frozen and take the gate
+            # level there as the target.
+            if abs(sources[device.gate].slope(tau)) > 1e6:
+                t_on = self._activation_time(
+                    device, sources, tau, self.options.t_stop,
+                    u[active - 1])
+                if t_on is not None and t_on > tau:
+                    gate_on = sources[device.gate].value(t_on)
+                    vth_on = device.threshold(gate_on, u[active - 1],
+                                              vdd)
+                    target = device.frame_gate(gate_on, vdd) - vth_on
+                    delta0 = (t_on - tau) * scale
+                    delta0 = min(max(delta0, 1e-14), 2e-9)
+                    guess = np.empty(active + 1)
+                    for k in range(active):
+                        guess[k] = float(np.clip(
+                            u[k] + rates[k] * delta0, 0.0, u[k]))
+                    guess[active - 1] = float(np.clip(target, 0.0,
+                                                      1.5 * vdd))
+                    guess[active] = tau + delta0
+                    return guess
+        rate_top = rates[active - 1]
+        gap = target - u[active - 1]
+        if rate_top < -1e-3 and gap < 0:
+            delta0 = gap / rate_top
+        else:
+            # Crude RC estimate from the bottom device's on current.
+            i_on = max(abs(currents[1]), 1e-7)
+            delta0 = abs(gap) * path.node_caps[active - 1] / i_on + 1e-13
+        delta0 *= scale
+        delta0 = min(max(delta0, 1e-14), 2e-9)
+
+        guess = np.empty(active + 1)
+        for k in range(active):
+            guess[k] = float(np.clip(u[k] + rates[k] * delta0, 0.0, u[k]))
+        guess[active - 1] = float(np.clip(target, 0.0, 1.5 * vdd))
+        self._couple_wire_nodes(guess, u, active)
+        guess[active] = tau + delta0
+        return guess
+
+    def _couple_wire_nodes(self, guess: np.ndarray, u: np.ndarray,
+                           active: int) -> None:
+        """Seed wire-connected neighbors together (stiff coupling).
+
+        A collapsed pi wire has ohms of resistance; leaving one end at
+        its old voltage while the other jumps to the target hands
+        Newton an ampere-scale residual it may not recover from.
+        """
+        for k in range(active - 1, 0, -1):
+            device = self.path.devices[k]
+            if device.kind is not DeviceKind.WIRE:
+                continue
+            coupled = min(guess[k], u[k - 1])
+            guess[k - 1] = float(np.clip(coupled, 0.0, u[k - 1]))
+
+    def _solve_region(self, sources, active: int, tau: float,
+                      u: np.ndarray, i: np.ndarray, condition,
+                      stats: SimulationStats
+                      ) -> Optional[Tuple[float, np.ndarray, np.ndarray,
+                                          np.ndarray, int]]:
+        """Solve one region with retries.
+
+        Returns ``(tau', u', i', caps_used, order_used)`` or None on
+        failure.  The solve runs twice when needed: once with
+        capacitances matched to the *predicted* voltage span, then
+        refined with the solved span (junction caps are bias dependent).
+
+        If every attempt with the configured waveform order fails, the
+        region is retried with the order-1 (constant-current) link: the
+        trapezoidal order-2 link is inconsistent for *long* regions
+        whose nodes carry sustained pass-through current (it forces the
+        end current toward minus the start current), while the order-1
+        link degrades gracefully to the quasi-static limit.
+        """
+        path = self.path
+        opts = self.options
+        scales = [(s, opts.waveform_order)
+                  for s in [1.0, 0.3, 3.0, 0.1][:max(opts.max_retries, 1)]]
+        if opts.waveform_order != 1:
+            scales += [(1.0, 1), (0.3, 1)]
+        for scale, order in scales:
+            guess = self._initial_guess(sources, active, tau, u, i,
+                                        condition, scale)
+            u_predicted = u.copy()
+            u_predicted[:active] = guess[:active]
+            caps = path.equivalent_caps(u, u_predicted)
+            for _refine in range(2):
+                system = RegionSystem(path, sources, active, tau, u, i,
+                                      condition, caps=caps,
+                                      order=order)
+                try:
+                    result = system.newton_solve(
+                        guess, options=opts.newton,
+                        use_sherman_morrison=opts.use_sherman_morrison)
+                except NewtonConvergenceError:
+                    result = None
+                    break
+                tau_new = float(result.x[active])
+                if not tau_new > tau:
+                    result = None
+                    break
+                u_new = u.copy()
+                u_new[:active] = np.clip(result.x[:active], -0.1,
+                                         1.5 * path.vdd)
+                refined = path.equivalent_caps(u, u_new)
+                stats.newton_iterations += result.iterations
+                drift = np.max(np.abs(refined - caps)
+                               / np.maximum(caps, 1e-18))
+                if drift < 5e-3:
+                    break
+                caps = refined
+                guess = result.x.copy()
+            if result is None:
+                continue
+            delta = tau_new - tau
+            order_f = float(order)
+            i_new = i.copy()
+            i_new[:active] = (order_f * caps[:active]
+                              * (u_new[:active] - u[:active]) / delta
+                              - (order_f - 1.0) * i[:active])
+            stats.steps += 1
+            return tau_new, u_new, i_new, caps, order
+        return None

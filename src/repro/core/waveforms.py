@@ -1,0 +1,233 @@
+"""Piecewise-quadratic waveform objects (paper Eq. 6).
+
+Within one region ``[tau, tau']`` the node current is linear,
+``I(t) = I_tau + alpha (t - tau)``, so the voltage is the quadratic
+
+    V(t) = V_tau + [I_tau (t - tau) + 0.5 alpha (t - tau)^2] / C.
+
+A :class:`PiecewiseQuadraticWaveform` strings such pieces together and
+supports evaluation, sampling, differentiation and level crossings —
+the operations timing analysis needs from a waveform.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuadraticPiece:
+    """One quadratic segment ``v(t) = v0 + slope*(t-t0) + curve*(t-t0)^2``.
+
+    Attributes:
+        t0: segment start [s].
+        t1: segment end [s] (``t1 > t0``; the final piece of a waveform
+            may be extrapolated past ``t1``).
+        v0: value at ``t0`` [V].
+        slope: first derivative at ``t0`` [V/s] (``I_tau / C``).
+        curve: half the second derivative [V/s^2] (``0.5 alpha / C``).
+    """
+
+    t0: float
+    t1: float
+    v0: float
+    slope: float
+    curve: float
+
+    def __post_init__(self) -> None:
+        if not self.t1 > self.t0:
+            raise ValueError("piece must have positive duration")
+
+    def value(self, t: float) -> float:
+        dt = t - self.t0
+        return self.v0 + self.slope * dt + self.curve * dt * dt
+
+    def derivative(self, t: float) -> float:
+        return self.slope + 2.0 * self.curve * (t - self.t0)
+
+    def end_value(self) -> float:
+        return self.value(self.t1)
+
+    def crossing(self, level: float) -> Optional[float]:
+        """Earliest ``t`` in ``[t0, t1]`` with ``v(t) = level``, if any.
+
+        Uses the cancellation-free quadratic formula (Numerical Recipes
+        form): ``q = -(b + sign(b) sqrt(disc)) / 2``, roots ``q/a`` and
+        ``c/q`` — a nearly-linear piece (tiny ``a``) must not lose its
+        root to floating-point cancellation.
+        """
+        c, b, a = self.v0 - level, self.slope, self.curve
+        candidates: List[float] = []
+        if abs(a) < 1e-300:
+            if abs(b) > 1e-300:
+                candidates.append(-c / b)
+        else:
+            disc = b * b - 4.0 * a * c
+            if disc >= 0.0:
+                root = math.sqrt(disc)
+                sign = 1.0 if b >= 0.0 else -1.0
+                q = -0.5 * (b + sign * root)
+                if abs(q) > 1e-300:
+                    candidates.append(c / q)
+                    candidates.append(q / a)
+                else:
+                    candidates.append(-b / (2.0 * a))
+        hits = [self.t0 + dt for dt in candidates
+                if -1e-18 <= dt <= (self.t1 - self.t0) + 1e-18]
+        return min(hits) if hits else None
+
+
+class PiecewiseQuadraticWaveform:
+    """A voltage waveform assembled from quadratic regions.
+
+    Args:
+        pieces: contiguous quadratic segments, ascending in time.
+
+    The waveform extends as a constant before the first piece and
+    holds the last piece's end value after it.
+    """
+
+    def __init__(self, pieces: Sequence[QuadraticPiece]):
+        if not pieces:
+            raise ValueError("waveform needs at least one piece")
+        self.pieces: List[QuadraticPiece] = list(pieces)
+        for a, b in zip(self.pieces, self.pieces[1:]):
+            if b.t0 < a.t1 - 1e-18:
+                raise ValueError("pieces must be ascending and contiguous")
+
+    # ------------------------------------------------------------------
+    @property
+    def t_start(self) -> float:
+        return self.pieces[0].t0
+
+    @property
+    def t_end(self) -> float:
+        return self.pieces[-1].t1
+
+    @property
+    def breakpoints(self) -> np.ndarray:
+        """Region boundaries (the critical points) [s]."""
+        times = [p.t0 for p in self.pieces] + [self.pieces[-1].t1]
+        return np.asarray(times)
+
+    def _piece_at(self, t: float) -> QuadraticPiece:
+        for piece in self.pieces:
+            if t <= piece.t1:
+                return piece
+        return self.pieces[-1]
+
+    def value(self, t: float) -> float:
+        """Waveform value at time ``t`` [V]."""
+        if t <= self.t_start:
+            return self.pieces[0].v0
+        if t >= self.t_end:
+            return self.pieces[-1].end_value()
+        return self._piece_at(t).value(t)
+
+    def derivative(self, t: float) -> float:
+        """Time derivative at ``t`` [V/s] (0 outside the defined span)."""
+        if t < self.t_start or t > self.t_end:
+            return 0.0
+        return self._piece_at(t).derivative(t)
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        """Evaluate on an array of time points."""
+        return np.array([self.value(float(t)) for t in np.asarray(times)])
+
+    def crossing_time(self, level: float) -> Optional[float]:
+        """Earliest time the waveform reaches ``level``, or None."""
+        if abs(self.pieces[0].v0 - level) == 0.0:
+            return self.t_start
+        for piece in self.pieces:
+            hit = piece.crossing(level)
+            if hit is not None:
+                return hit
+        return None
+
+    def final_value(self) -> float:
+        return self.pieces[-1].end_value()
+
+    # ------------------------------------------------------------------
+    # Waveform algebra
+    # ------------------------------------------------------------------
+    def integral(self, t0: float, t1: float) -> float:
+        """Exact integral of the waveform over ``[t0, t1]`` [V*s].
+
+        Pieces integrate in closed form (cubic antiderivative); the
+        constant extensions before/after the defined span contribute
+        their flat values.
+        """
+        if t1 < t0:
+            raise ValueError("need t1 >= t0")
+        total = 0.0
+        # Leading flat region.
+        if t0 < self.t_start:
+            total += self.pieces[0].v0 * (min(t1, self.t_start) - t0)
+        for piece in self.pieces:
+            lo = max(t0, piece.t0)
+            hi = min(t1, piece.t1)
+            if hi <= lo:
+                continue
+            a, b = lo - piece.t0, hi - piece.t0
+
+            def anti(x: float) -> float:
+                return (piece.v0 * x + 0.5 * piece.slope * x * x
+                        + piece.curve * x ** 3 / 3.0)
+
+            total += anti(b) - anti(a)
+        # Trailing flat region.
+        if t1 > self.t_end:
+            total += self.final_value() * (t1 - max(t0, self.t_end))
+        return total
+
+    def average(self, t0: float, t1: float) -> float:
+        """Mean value over a window [V]."""
+        if t1 <= t0:
+            raise ValueError("need t1 > t0")
+        return self.integral(t0, t1) / (t1 - t0)
+
+    def shifted(self, dt: float) -> "PiecewiseQuadraticWaveform":
+        """The same waveform translated by ``dt`` in time."""
+        return PiecewiseQuadraticWaveform([
+            QuadraticPiece(p.t0 + dt, p.t1 + dt, p.v0, p.slope, p.curve)
+            for p in self.pieces])
+
+    def tangent_ramp(self, vdd: float,
+                     low_frac: float = 0.2,
+                     high_frac: float = 0.8):
+        """Fit a saturated-ramp driver model to the transition.
+
+        The standard slew abstraction: a ramp through the 20%/80%
+        crossings, extrapolated to the full rails.  Returns
+        ``(t_start, t_rise, v0, v1)`` suitable for constructing a
+        :class:`~repro.spice.sources.RampSource` that drives a
+        downstream stage, or None if the waveform never spans the
+        fit levels.
+        """
+        v_begin = self.pieces[0].v0
+        v_end = self.final_value()
+        if abs(v_end - v_begin) < 0.1 * vdd:
+            return None
+        lo, hi = low_frac * vdd, high_frac * vdd
+        t_lo = self.crossing_time(lo)
+        t_hi = self.crossing_time(hi)
+        if t_lo is None or t_hi is None or t_lo == t_hi:
+            return None
+        # Slope through the two crossings, extended to the rails.
+        slope = (hi - lo) / (t_hi - t_lo)
+        if v_end > v_begin:
+            t_start = t_lo - lo / slope
+            t_full = vdd / slope
+            return (t_start, t_full, 0.0, vdd)
+        slope = abs(slope)
+        t_start = t_hi - (vdd - hi) / slope
+        t_full = vdd / slope
+        return (t_start, t_full, vdd, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"PiecewiseQuadraticWaveform({len(self.pieces)} pieces, "
+                f"[{self.t_start:.3e}, {self.t_end:.3e}] s)")

@@ -1,0 +1,84 @@
+"""Device-model substrate.
+
+Two model families live here, mirroring the paper's methodology:
+
+* :mod:`repro.devices.mosfet` — the **golden analytic MOSFET model**
+  (velocity-saturated, body effect, channel-length modulation).  It plays
+  the role of HSPICE's BSIM3: the reference SPICE engine consumes it
+  directly, and it is the *only* source of I/V truth in the repository.
+* :mod:`repro.devices.table_model` — the **tabular device model** used by
+  QWM.  It is *characterized* from sampled sweeps of the golden model
+  (:mod:`repro.devices.characterize`), storing seven fitted parameters per
+  (Vs, Vg) grid point exactly as the paper's Section V-A describes: a
+  linear fit in saturation, a quadratic fit in triode, plus the threshold
+  and saturation voltages.
+
+Keeping the two families separate keeps the accuracy comparison honest:
+QWM never sees the analytic model, only the table, so fitting and
+interpolation error count against QWM just as they do in the paper.
+"""
+
+from repro.devices.technology import (
+    CMOSP35,
+    MosParams,
+    Technology,
+    WireParams,
+)
+from repro.devices.mosfet import (
+    MosfetModel,
+    MosOperatingPoint,
+    nmos_model,
+    pmos_model,
+)
+from repro.devices.capacitance import (
+    MosCapacitances,
+    equivalent_junction_cap,
+    gate_capacitance,
+    junction_capacitance,
+    mosfet_capacitances,
+    wire_capacitance,
+    wire_resistance,
+)
+from repro.devices.characterize import (
+    CharacterizationGrid,
+    FittedIV,
+    characterize_device,
+    fit_iv_curve,
+)
+from repro.devices.table_model import TableDeviceModel, TableModelLibrary
+from repro.devices.corners import (
+    all_corners,
+    at_temperature,
+    corner,
+    corner_spread,
+    pvt,
+)
+
+__all__ = [
+    "all_corners",
+    "at_temperature",
+    "corner",
+    "corner_spread",
+    "pvt",
+    "CMOSP35",
+    "MosParams",
+    "Technology",
+    "WireParams",
+    "MosfetModel",
+    "MosOperatingPoint",
+    "nmos_model",
+    "pmos_model",
+    "MosCapacitances",
+    "equivalent_junction_cap",
+    "gate_capacitance",
+    "junction_capacitance",
+    "mosfet_capacitances",
+    "wire_capacitance",
+    "wire_resistance",
+    "CharacterizationGrid",
+    "FittedIV",
+    "characterize_device",
+    "fit_iv_curve",
+    "TableDeviceModel",
+    "TableModelLibrary",
+]

@@ -1,0 +1,142 @@
+"""Process corners: derived fast/slow technology variants.
+
+Timing sign-off evaluates every path at process corners.  A corner here
+is a derived :class:`~repro.devices.technology.Technology` with shifted
+transconductance and threshold (the first-order knobs of process skew);
+each corner gets its own characterization tables, so QWM sees corner
+silicon exactly the way it sees nominal silicon.
+
+Naming follows convention: the first letter is the NMOS corner, the
+second the PMOS corner — ``tt`` typical, ``ff`` fast/fast, ``ss``
+slow/slow, plus the skewed ``fs`` and ``sf``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.devices.technology import MosParams, Technology
+
+#: Default fractional skews for a "fast" device: stronger drive, lower
+#: threshold.  "Slow" mirrors the signs.
+KP_SKEW = 0.12
+VTH_SKEW = 0.08
+
+_CORNERS = ("tt", "ff", "ss", "fs", "sf")
+
+
+def _skew_params(params: MosParams, speed: str,
+                 kp_skew: float, vth_skew: float) -> MosParams:
+    if speed == "t":
+        return params
+    sign = 1.0 if speed == "f" else -1.0
+    return replace(
+        params,
+        kp=params.kp * (1.0 + sign * kp_skew),
+        vth0=params.vth0 * (1.0 - sign * vth_skew),
+    )
+
+
+def corner(tech: Technology, name: str,
+           kp_skew: float = KP_SKEW,
+           vth_skew: float = VTH_SKEW) -> Technology:
+    """Derive a corner technology.
+
+    Args:
+        tech: the nominal (typical) technology.
+        name: two-letter corner name (``tt``, ``ff``, ``ss``, ``fs``,
+            ``sf``); first letter NMOS, second PMOS.
+        kp_skew: fractional transconductance skew per ``f``/``s``.
+        vth_skew: fractional threshold skew per ``f``/``s``.
+
+    Returns:
+        A new :class:`Technology` named ``"<base>_<corner>"``.
+    """
+    name = name.lower()
+    if name not in _CORNERS:
+        raise ValueError(f"unknown corner {name!r}; expected one of "
+                         f"{_CORNERS}")
+    if name == "tt":
+        return tech
+    n_speed, p_speed = name[0], name[1]
+    return replace(
+        tech,
+        name=f"{tech.name}_{name}",
+        nmos=_skew_params(tech.nmos, n_speed, kp_skew, vth_skew),
+        pmos=_skew_params(tech.pmos, p_speed, kp_skew, vth_skew),
+    )
+
+
+def all_corners(tech: Technology,
+                names: Iterable[str] = _CORNERS
+                ) -> Dict[str, Technology]:
+    """All requested corners keyed by name."""
+    return {name: corner(tech, name) for name in names}
+
+
+#: Mobility exponent: mu(T) = mu(T0) * (T/T0)^MOBILITY_EXPONENT.
+MOBILITY_EXPONENT = -1.5
+#: Threshold temperature coefficient [V/K] (magnitude shrinks when hot).
+VTH_TEMPCO = -2.0e-3
+
+
+def at_temperature(tech: Technology, temperature: float) -> Technology:
+    """Derive the technology at an operating temperature.
+
+    First-order silicon temperature physics: carrier mobility (hence
+    ``kp``) degrades as ``(T/T0)^-1.5`` and the threshold magnitude
+    drops ~2 mV/K.  At nominal supplies the mobility term dominates, so
+    hot silicon is slow — the standard worst-case-timing condition.
+
+    Args:
+        tech: the nominal technology (its ``temperature`` is T0).
+        temperature: operating temperature [K].
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive kelvin")
+    if temperature == tech.temperature:
+        return tech
+    ratio = temperature / tech.temperature
+    kp_factor = ratio ** MOBILITY_EXPONENT
+    dvth = VTH_TEMPCO * (temperature - tech.temperature)
+
+    def shift(params: MosParams) -> MosParams:
+        return replace(params,
+                       kp=params.kp * kp_factor,
+                       vth0=max(params.vth0 + dvth, 0.05))
+
+    return replace(tech,
+                   name=f"{tech.name}_{temperature:.0f}K",
+                   temperature=temperature,
+                   nmos=shift(tech.nmos),
+                   pmos=shift(tech.pmos))
+
+
+def pvt(tech: Technology, corner_name: str = "tt",
+        temperature: Optional[float] = None) -> Technology:
+    """Combined process + temperature derivation (the PVT point).
+
+    Args:
+        tech: nominal technology.
+        corner_name: process corner (see :func:`corner`).
+        temperature: operating temperature [K]; None keeps nominal.
+    """
+    derived = corner(tech, corner_name)
+    if temperature is not None:
+        derived = at_temperature(derived, temperature)
+    return derived
+
+
+def corner_spread(delays: Dict[str, float]) -> Tuple[str, str, float]:
+    """Summarize a per-corner delay dict.
+
+    Returns ``(slowest_corner, fastest_corner, spread_fraction)`` where
+    the spread is ``(max - min) / min``.
+    """
+    if not delays:
+        raise ValueError("no corner delays supplied")
+    slowest = max(delays, key=delays.get)
+    fastest = min(delays, key=delays.get)
+    spread = (delays[slowest] - delays[fastest]) / delays[fastest]
+    return slowest, fastest, spread

@@ -1,0 +1,149 @@
+"""Process technology parameters.
+
+The paper characterizes devices for "the CMOSP35 technology" (a 0.35 um,
+3.3 V CMOS process) from HSPICE/BSIM3 sweeps.  Foundry decks are
+proprietary, so :data:`CMOSP35` collects textbook 0.35 um-generation
+values (Rabaey, *Digital Integrated Circuits*): they produce the same
+I/V and capacitance *shapes*, which is what the QWM-vs-SPICE comparison
+exercises.
+
+All quantities are strict SI: volts, amps, farads, meters, seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MosParams:
+    """Analytic MOSFET model parameters (one polarity).
+
+    Attributes:
+        vth0: zero-bias threshold voltage magnitude [V] (positive for both
+            polarities; the model applies the sign).
+        kp: process transconductance ``mu * Cox`` [A/V^2].
+        gamma: body-effect coefficient [sqrt(V)].
+        phi: surface potential ``2*phi_F`` [V].
+        lambda_: channel-length modulation at the reference length [1/V].
+        ecrit: velocity-saturation critical field [V/m].
+        cox: gate-oxide capacitance per area [F/m^2].
+        cov: gate overlap capacitance per width, each side [F/m].
+        cj: zero-bias junction area capacitance [F/m^2].
+        cjsw: zero-bias junction sidewall capacitance [F/m].
+        pb: junction built-in potential [V].
+        mj: area junction grading coefficient.
+        mjsw: sidewall junction grading coefficient.
+        ldiff: source/drain diffusion extent used for default junction
+            geometry [m].
+        smoothing: gate-overdrive smoothing parameter [V] blending the
+            cutoff/conduction boundary so the model is C1 for Newton.
+    """
+
+    vth0: float
+    kp: float
+    gamma: float
+    phi: float
+    lambda_: float
+    ecrit: float
+    cox: float
+    cov: float
+    cj: float
+    cjsw: float
+    pb: float
+    mj: float
+    mjsw: float
+    ldiff: float
+    smoothing: float = 0.01
+
+
+@dataclass(frozen=True)
+class WireParams:
+    """Interconnect electrical parameters (a metal-1-like layer).
+
+    Attributes:
+        sheet_resistance: [ohm/square].
+        cap_area: capacitance to substrate per area [F/m^2].
+        cap_fringe: fringe capacitance per edge length [F/m].
+    """
+
+    sheet_resistance: float
+    cap_area: float
+    cap_fringe: float
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A complete process description.
+
+    Attributes:
+        name: human-readable process name.
+        vdd: nominal supply voltage [V].
+        lmin: minimum drawn channel length [m].
+        wmin: minimum transistor width [m].
+        nmos: NMOS model parameters.
+        pmos: PMOS model parameters.
+        wire: interconnect parameters.
+        temperature: nominal temperature [K] (informational).
+    """
+
+    name: str
+    vdd: float
+    lmin: float
+    wmin: float
+    nmos: MosParams
+    pmos: MosParams
+    wire: WireParams
+    temperature: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if self.lmin <= 0 or self.wmin <= 0:
+            raise ValueError("minimum geometry must be positive")
+
+
+#: CMOSP35-like technology: 0.35 um, 3.3 V, textbook device parameters.
+CMOSP35 = Technology(
+    name="cmosp35",
+    vdd=3.3,
+    lmin=0.35e-6,
+    wmin=0.5e-6,
+    nmos=MosParams(
+        vth0=0.55,
+        kp=175e-6,
+        gamma=0.58,
+        phi=0.70,
+        lambda_=0.06,
+        ecrit=4.0e6,
+        cox=4.6e-3,
+        cov=0.31e-9,
+        cj=0.93e-3,
+        cjsw=0.28e-9,
+        pb=0.90,
+        mj=0.50,
+        mjsw=0.33,
+        ldiff=0.875e-6,
+    ),
+    pmos=MosParams(
+        vth0=0.65,
+        kp=60e-6,
+        gamma=0.40,
+        phi=0.70,
+        lambda_=0.10,
+        ecrit=15.0e6,
+        cox=4.6e-3,
+        cov=0.27e-9,
+        cj=1.42e-3,
+        cjsw=0.33e-9,
+        pb=0.90,
+        mj=0.48,
+        mjsw=0.32,
+        ldiff=0.875e-6,
+    ),
+    wire=WireParams(
+        sheet_resistance=0.08,
+        cap_area=0.030e-3,
+        cap_fringe=0.040e-9,
+    ),
+)

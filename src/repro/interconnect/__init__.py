@@ -1,0 +1,62 @@
+"""Interconnect analysis substrate: RC trees, moments, AWE, π reduction.
+
+The paper reduces the decoder tree's long wires to macro π models via
+AWE before running QWM ("We first used AWE approach to build a macro
+π model for the wire").  This package provides the pieces:
+
+* :mod:`repro.interconnect.rc_network` — RC tree data structure.
+* :mod:`repro.interconnect.elmore` — Elmore delay and higher voltage
+  moments by path tracing (two-pass tree traversal).
+* :mod:`repro.interconnect.awe` — moment matching / Padé approximation
+  (poles and residues), the AWE of Pillage & Rohrer.
+* :mod:`repro.interconnect.pi_model` — O'Brien-Savarino three-moment π
+  reduction of a driving-point admittance.
+"""
+
+from repro.interconnect.rc_network import RCTree
+from repro.interconnect.elmore import (
+    elmore_delays,
+    voltage_moments,
+    admittance_moments,
+)
+from repro.interconnect.awe import (
+    AWEApproximation,
+    awe_from_moments,
+    awe_step_response,
+    transfer_moments_to_poles,
+)
+from repro.interconnect.pi_model import (
+    PiModel,
+    pi_of_tree,
+    reduce_to_pi,
+    uniform_line_pi,
+    wire_chain_pi,
+)
+from repro.interconnect.coupling import (
+    CrosstalkDelayBounds,
+    glitch_peak,
+    miller_decoupled_cap,
+    noise_immunity_ok,
+    victim_delay_bounds,
+)
+
+__all__ = [
+    "RCTree",
+    "elmore_delays",
+    "voltage_moments",
+    "admittance_moments",
+    "AWEApproximation",
+    "awe_from_moments",
+    "awe_step_response",
+    "transfer_moments_to_poles",
+    "PiModel",
+    "pi_of_tree",
+    "reduce_to_pi",
+    "uniform_line_pi",
+    "wire_chain_pi",
+    "CrosstalkDelayBounds",
+    "glitch_peak",
+    "miller_decoupled_cap",
+    "noise_immunity_ok",
+    "victim_delay_bounds",
+]

@@ -1,0 +1,138 @@
+"""Asymptotic Waveform Evaluation: Padé approximation from moments.
+
+The AWE of Pillage & Rohrer: match the first ``2q`` moments of a
+transfer function with a ``q``-pole reduced-order model
+
+    H(s) ~= sum_i  k_i / (1 - s / p_i)
+
+whose step response is ``y(t) = H(0) - sum_i k_i exp(p_i t)``.  The
+denominator comes from a Hankel (moment-matrix) solve, the poles from
+its roots, and the residues from a Vandermonde solve — the textbook AWE
+pipeline, including the classic instability fallback: if any pole lands
+in the right half plane the order is reduced until all poles are stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AWEApproximation:
+    """A pole/residue reduced-order model.
+
+    Attributes:
+        poles: pole locations [rad/s] (negative real for stable RC fits).
+        residues: matching residues ``k_i`` (``sum k_i = m_0``).
+        moments: the moments the model was fitted to (``m_0, m_1, ...``).
+        order: number of poles retained.
+    """
+
+    poles: np.ndarray
+    residues: np.ndarray
+    moments: np.ndarray
+    order: int
+
+    @property
+    def dominant_time_constant(self) -> float:
+        """Time constant of the slowest pole [s]."""
+        return float(-1.0 / np.max(np.real(self.poles)))
+
+    def transfer_moment(self, q: int) -> float:
+        """Moment ``m_q`` implied by the model: ``sum_i k_i / p_i**q``."""
+        return float(np.real(np.sum(self.residues / self.poles ** q)))
+
+    def step_response(self, t: np.ndarray, v_final: float = 1.0
+                      ) -> np.ndarray:
+        """Unit-step response scaled to a final value.
+
+        ``y(t) = v_final * (m_0 - sum_i k_i exp(p_i t)) / m_0``.
+        """
+        t = np.asarray(t, dtype=float)
+        m0 = float(np.real(np.sum(self.residues)))
+        decay = np.real(
+            np.sum(self.residues[None, :]
+                   * np.exp(np.outer(t, self.poles)), axis=1))
+        return v_final * (m0 - decay) / m0
+
+
+def transfer_moments_to_poles(moments: Sequence[float],
+                              order: int) -> np.ndarray:
+    """Solve the AWE Hankel system for the poles of a ``order``-pole fit.
+
+    Args:
+        moments: ``m_0 .. m_{2*order-1}`` (at least ``2*order`` values).
+        order: number of poles.
+
+    Returns:
+        Array of poles (roots of the reciprocal denominator polynomial).
+
+    Raises:
+        np.linalg.LinAlgError: if the moment matrix is singular.
+    """
+    m = np.asarray(moments, dtype=float)
+    q = order
+    if m.size < 2 * q:
+        raise ValueError(f"need {2 * q} moments for a {q}-pole fit")
+    # Denominator 1 + b1 s + ... + bq s^q from the moment-matching
+    # conditions  sum_j b_j m_{q+i-j} = -m_{q+i},  i = 0..q-1.
+    hankel = np.empty((q, q))
+    rhs = np.empty(q)
+    for i in range(q):
+        for j in range(q):
+            hankel[i, j] = m[q + i - (j + 1)]
+        rhs[i] = -m[q + i]
+    b = np.linalg.solve(hankel, rhs)
+    # Q(s) = 1 + b1 s + ... + bq s^q ; poles are its roots.
+    coeffs = np.concatenate(([1.0], b))[::-1]
+    return np.roots(coeffs)
+
+
+def awe_from_moments(moments: Sequence[float], order: int = 2,
+                     require_stable: bool = True) -> AWEApproximation:
+    """Build a pole/residue model from transfer moments.
+
+    Args:
+        moments: ``m_0, m_1, ...`` of the transfer function (``m_0`` is
+            typically 1 for a voltage transfer to a capacitive load).
+        order: requested number of poles; automatically reduced while
+            unstable poles appear (AWE's standard remedy) when
+            ``require_stable`` is set.
+        require_stable: reject right-half-plane poles.
+
+    Returns:
+        The fitted approximation.
+
+    Raises:
+        ValueError: if not even a single stable pole can be extracted.
+    """
+    m = np.asarray(moments, dtype=float)
+    for q in range(order, 0, -1):
+        if m.size < 2 * q:
+            continue
+        try:
+            poles = transfer_moments_to_poles(m, q)
+        except np.linalg.LinAlgError:
+            continue
+        if require_stable and np.any(np.real(poles) >= 0):
+            continue
+        if np.any(np.abs(poles) < 1e-300):
+            continue
+        # Residues: match m_0..m_{q-1}:  sum_i k_i / p_i^r = m_r.
+        vander = np.array([poles ** (-r) for r in range(q)])
+        try:
+            residues = np.linalg.solve(vander, m[:q].astype(complex))
+        except np.linalg.LinAlgError:
+            continue
+        return AWEApproximation(poles=poles, residues=residues,
+                                moments=m.copy(), order=q)
+    raise ValueError("no stable AWE approximation could be extracted")
+
+
+def awe_step_response(moments: Sequence[float], t: np.ndarray,
+                      order: int = 2, v_final: float = 1.0) -> np.ndarray:
+    """Convenience: step response of an AWE fit to the given moments."""
+    return awe_from_moments(moments, order).step_response(t, v_final)

@@ -1,0 +1,149 @@
+"""Coupled-interconnect (crosstalk) bounds.
+
+Deep-submicron wires couple capacitively; the paper's motivation section
+points at exactly this regime ("transistors are coupled with
+interconnect, whose electrical properties cannot be ignored in deep
+submicron design").  This module provides the standard static-timing
+treatment of coupling:
+
+* **Miller decoupling** — replace a coupling capacitance ``Cc`` between
+  a victim and an aggressor with a grounded capacitance ``k * Cc`` on
+  the victim, where ``k`` is 0 (aggressor tracks the victim), 1 (quiet
+  aggressor) or 2 (aggressor switches opposite) — the classic bounding
+  factors.
+* **Delta-delay bounds** — re-evaluate the victim's QWM delay at the
+  k = 0 and k = 2 extremes.
+* **Glitch estimate** — the single-pole charge-sharing peak a switching
+  aggressor induces on a quiet victim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+from repro.circuit.netlist import LogicStage
+from repro.spice.sources import SourceLike
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.engine import WaveformEvaluator
+
+#: The three classic Miller bounding factors.
+MILLER_BEST = 0.0
+MILLER_QUIET = 1.0
+MILLER_WORST = 2.0
+
+
+def miller_decoupled_cap(coupling_cap: float, factor: float) -> float:
+    """Grounded equivalent of a coupling cap under a Miller factor."""
+    if coupling_cap < 0:
+        raise ValueError("coupling capacitance must be non-negative")
+    if not 0.0 <= factor <= 3.0:
+        raise ValueError("Miller factor out of the sensible [0, 3] range")
+    return factor * coupling_cap
+
+
+@dataclass(frozen=True)
+class CrosstalkDelayBounds:
+    """Victim delay bounds over the Miller range.
+
+    Attributes:
+        best: delay with the aggressor switching the same way (k=0) [s].
+        nominal: quiet-aggressor delay (k=1) [s].
+        worst: delay with the aggressor switching opposite (k=2) [s].
+    """
+
+    best: float
+    nominal: float
+    worst: float
+
+    @property
+    def delta(self) -> float:
+        """Worst-case crosstalk delay push-out [s]."""
+        return self.worst - self.nominal
+
+    @property
+    def window(self) -> float:
+        """Total uncertainty window [s]."""
+        return self.worst - self.best
+
+
+def victim_delay_bounds(evaluator: "WaveformEvaluator",
+                        stage: LogicStage, output: str, direction: str,
+                        inputs: Dict[str, SourceLike],
+                        victim_node: str, coupling_cap: float,
+                        precharge: str = "full",
+                        t_input: float = 0.0) -> CrosstalkDelayBounds:
+    """QWM delay bounds for a victim net with a coupling cap on a node.
+
+    Evaluates the stage three times with the coupling decoupled at the
+    k = 0 / 1 / 2 Miller factors added to ``victim_node``'s load.
+
+    Args:
+        evaluator: QWM evaluator.
+        stage: the victim's stage (not modified).
+        output: victim output node.
+        direction: victim transition direction.
+        inputs: gate sources.
+        victim_node: the node carrying the coupling capacitance.
+        coupling_cap: the physical coupling capacitance [F].
+    """
+    from repro.analysis.sensitivity import clone_stage
+
+    delays = {}
+    for name, factor in (("best", MILLER_BEST), ("nominal", MILLER_QUIET),
+                         ("worst", MILLER_WORST)):
+        trial = clone_stage(stage)
+        node = trial.node(victim_node)
+        node.load_cap += miller_decoupled_cap(coupling_cap, factor)
+        solution = evaluator.evaluate(trial, output, direction, inputs,
+                                      precharge=precharge)
+        delay = solution.delay(t_input=t_input)
+        if delay is None:
+            raise RuntimeError(f"victim never crossed 50% at k={factor}")
+        delays[name] = delay
+    return CrosstalkDelayBounds(**delays)
+
+
+def glitch_peak(coupling_cap: float, victim_cap: float,
+                aggressor_slew: float,
+                victim_resistance: float,
+                vdd: float) -> float:
+    """Peak glitch a switching aggressor couples onto a quiet victim [V].
+
+    The classic single-pole charge-sharing estimate: the victim RC
+    ``tau = R * (Cc + Cv)`` low-passes the coupled ramp of duration
+    ``tr``, giving
+
+        V_peak = vdd * Cc / (Cc + Cv) * (tau / tr) * (1 - exp(-tr / tau))
+
+    which tends to the full charge-sharing ratio for fast aggressors
+    (``tr << tau``) and rolls off linearly for slow ones.
+
+    Args:
+        coupling_cap: victim-aggressor coupling [F].
+        victim_cap: victim grounded capacitance [F].
+        aggressor_slew: aggressor full-swing transition time [s].
+        victim_resistance: victim net's holding resistance (driver on-
+            resistance plus wire) [ohm].
+        vdd: aggressor swing [V].
+    """
+    import math
+
+    if min(coupling_cap, victim_cap, aggressor_slew,
+           victim_resistance) < 0:
+        raise ValueError("all parameters must be non-negative")
+    if coupling_cap == 0:
+        return 0.0
+    tau = victim_resistance * (coupling_cap + victim_cap)
+    ratio = coupling_cap / (coupling_cap + victim_cap)
+    if aggressor_slew == 0 or tau == 0:
+        return vdd * ratio
+    x = aggressor_slew / tau
+    return vdd * ratio * (1.0 - math.exp(-x)) / x
+
+
+def noise_immunity_ok(peak: float, vdd: float,
+                      margin_fraction: float = 0.35) -> bool:
+    """Static noise check: glitch below the (simple) switching margin."""
+    return abs(peak) < margin_fraction * vdd

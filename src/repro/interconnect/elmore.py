@@ -1,0 +1,78 @@
+"""Elmore delay and higher-order moments of RC trees by path tracing.
+
+For an RC tree driven by an ideal step source at the root, each node's
+transfer function expands as ``H_k(s) = 1 + m1_k s + m2_k s^2 + ...``.
+The moments obey the classic recurrence (Pillage & Rohrer)
+
+    m_q(node) = m_q(parent) - R_branch * sum_{j in subtree} C_j m_{q-1}(j)
+
+with ``m_0 = 1`` everywhere and ``m_q(root) = 0`` for q >= 1, computed
+here with one upward (subtree accumulation) and one downward
+(propagation) pass per order.  The Elmore delay is ``-m1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.interconnect.rc_network import RCTree
+
+
+def voltage_moments(tree: RCTree, order: int) -> List[Dict[str, float]]:
+    """Voltage transfer moments ``m_1 .. m_order`` for every node.
+
+    Args:
+        tree: the RC tree.
+        order: number of moments to compute (>= 1).
+
+    Returns:
+        A list of ``order`` dicts; element ``q-1`` maps node name to
+        ``m_q``.  (``m_0`` is identically 1 and is omitted.)
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    topo = tree.topological()
+    prev = {name: 1.0 for name in topo}  # m_0
+    results: List[Dict[str, float]] = []
+    for _ in range(order):
+        # Upward pass: subtree sums of C_j * m_{q-1}(j).
+        subtree = {name: tree.cap(name) * prev[name] for name in topo}
+        for name in reversed(topo):
+            parent = tree.parent(name)
+            if parent is not None:
+                subtree[parent] += subtree[name]
+        # Downward pass: m_q(node) = m_q(parent) - R * subtree(node).
+        current: Dict[str, float] = {tree.root: 0.0}
+        for name in topo:
+            if name == tree.root:
+                continue
+            parent = tree.parent(name)
+            current[name] = (current[parent]
+                             - tree.resistance(name) * subtree[name])
+        results.append(current)
+        prev = current
+    return results
+
+
+def elmore_delays(tree: RCTree) -> Dict[str, float]:
+    """Elmore delay (first moment magnitude) at every node [s]."""
+    first = voltage_moments(tree, 1)[0]
+    return {name: -value for name, value in first.items()}
+
+
+def admittance_moments(tree: RCTree, order: int = 3) -> List[float]:
+    """Driving-point admittance moments ``A_1 .. A_order``.
+
+    ``Y(s) = A_1 s + A_2 s^2 + ...`` with ``A_q = sum_k C_k m_{q-1}(k)``;
+    ``A_1`` is the total capacitance.  These feed the O'Brien-Savarino
+    π reduction.
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    moments = [{name: 1.0 for name in tree.node_names}]
+    if order > 1:
+        moments.extend(voltage_moments(tree, order - 1))
+    return [
+        sum(tree.cap(name) * moments[q][name] for name in tree.node_names)
+        for q in range(order)
+    ]

@@ -1,0 +1,111 @@
+"""O'Brien-Savarino π reduction of RC interconnect.
+
+A driving-point admittance ``Y(s) = A1 s + A2 s^2 + A3 s^3 + ...`` is
+matched exactly to three moments by the π circuit
+
+    near cap C2 —— series R —— far cap C1
+
+whose admittance is ``Y_pi(s) = s C2 + s C1 / (1 + s R C1)``, giving
+
+    C1 = A2^2 / A3,   R = -A3^2 / A2^3,   C2 = A1 - C1.
+
+This is the "macro π model for the wire" the paper builds with AWE
+before running QWM on the decoder tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.interconnect.elmore import admittance_moments
+from repro.interconnect.rc_network import RCTree
+
+
+@dataclass(frozen=True)
+class PiModel:
+    """A three-moment π equivalent of an RC load.
+
+    Attributes:
+        c_near: capacitance at the driving point [F].
+        r: series resistance [ohm].
+        c_far: capacitance at the far end [F].
+    """
+
+    c_near: float
+    r: float
+    c_far: float
+
+    @property
+    def total_cap(self) -> float:
+        return self.c_near + self.c_far
+
+    def admittance_moments(self) -> Sequence[float]:
+        """The first three admittance moments of the π itself."""
+        a1 = self.c_near + self.c_far
+        a2 = -self.r * self.c_far ** 2
+        a3 = self.r ** 2 * self.c_far ** 3
+        return [a1, a2, a3]
+
+
+def reduce_to_pi(moments: Sequence[float]) -> PiModel:
+    """Reduce admittance moments ``[A1, A2, A3]`` to a π model.
+
+    Degenerate inputs (purely capacitive loads, ``A2 ~ 0``) collapse to
+    a lumped capacitor (``r = 0``).
+
+    Raises:
+        ValueError: if the moments are not RC-realizable (A1 <= 0).
+    """
+    if len(moments) < 3:
+        raise ValueError("need three admittance moments")
+    a1, a2, a3 = (float(moments[0]), float(moments[1]), float(moments[2]))
+    if a1 <= 0:
+        raise ValueError("A1 (total capacitance) must be positive")
+    if abs(a2) < 1e-300 or a3 <= 0:
+        return PiModel(c_near=a1, r=0.0, c_far=0.0)
+    c_far = a2 * a2 / a3
+    r = -(a3 * a3) / (a2 ** 3)
+    c_near = a1 - c_far
+    if c_far < 0 or r < 0:
+        return PiModel(c_near=a1, r=0.0, c_far=0.0)
+    if c_near < 0:
+        # Rarely the three-moment fit over-allocates the far cap; fall
+        # back to an Elmore-preserving split.
+        c_near = 0.0
+        c_far = a1
+        r = -a2 / (a1 * a1) * a1  # preserves A2 with the full cap far
+        r = -a2 / (c_far ** 2)
+    return PiModel(c_near=c_near, r=r, c_far=c_far)
+
+
+def pi_of_tree(tree: RCTree) -> PiModel:
+    """π reduction of an entire RC tree seen from its root."""
+    return reduce_to_pi(admittance_moments(tree, 3))
+
+
+def wire_chain_pi(resistances: Sequence[float],
+                  caps: Sequence[float]) -> PiModel:
+    """π reduction of a lumped RC ladder (a multi-segment wire).
+
+    Args:
+        resistances: per-segment series resistances, driver outward.
+        caps: per-segment grounded caps (same length).
+    """
+    tree = RCTree.from_chain(resistances, caps)
+    return pi_of_tree(tree)
+
+
+def uniform_line_pi(total_r: float, total_c: float) -> PiModel:
+    """Closed-form π of a uniform distributed RC line.
+
+    The exact first three admittance moments of an open-ended uniform
+    line are ``A1 = C``, ``A2 = -R C^2 / 3``, ``A3 = 2 R^2 C^3 / 15``,
+    which reduce to the classic ``(C/6, 12R/25, 5C/6)`` π.
+    """
+    if total_r < 0 or total_c < 0:
+        raise ValueError("line parameters must be non-negative")
+    moments = [total_c,
+               -total_r * total_c ** 2 / 3.0,
+               2.0 * total_r ** 2 * total_c ** 3 / 15.0]
+    return reduce_to_pi(moments)

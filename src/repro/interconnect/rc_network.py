@@ -1,0 +1,120 @@
+"""RC tree data structure for interconnect analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class _RCNode:
+    name: str
+    cap: float
+    parent: Optional[str]
+    resistance: float  # resistance of the edge to the parent (0 for root)
+    children: List[str] = field(default_factory=list)
+
+
+class RCTree:
+    """A grounded-capacitor RC tree rooted at the driving point.
+
+    Nodes are added with :meth:`add_node`, naming their parent and the
+    resistance of the connecting branch.  Caps are to ground.
+
+    Example:
+        >>> tree = RCTree("in")
+        >>> tree.add_node("a", parent="in", resistance=100.0, cap=1e-15)
+        >>> tree.add_node("b", parent="a", resistance=100.0, cap=1e-15)
+        >>> tree.total_cap
+        2e-15
+    """
+
+    def __init__(self, root: str, root_cap: float = 0.0):
+        self._nodes: Dict[str, _RCNode] = {}
+        self.root = root
+        self._nodes[root] = _RCNode(root, root_cap, None, 0.0)
+
+    def add_node(self, name: str, parent: str, resistance: float,
+                 cap: float) -> None:
+        """Attach a node below ``parent`` via a branch of ``resistance``."""
+        if name in self._nodes:
+            raise ValueError(f"duplicate RC node {name!r}")
+        if parent not in self._nodes:
+            raise ValueError(f"unknown parent {parent!r}")
+        if resistance < 0 or cap < 0:
+            raise ValueError("resistance and cap must be non-negative")
+        self._nodes[name] = _RCNode(name, cap, parent, resistance)
+        self._nodes[parent].children.append(name)
+
+    def add_cap(self, name: str, cap: float) -> None:
+        """Add extra grounded capacitance to an existing node."""
+        self._nodes[name].cap += cap
+
+    # ------------------------------------------------------------------
+    @property
+    def node_names(self) -> List[str]:
+        return list(self._nodes)
+
+    @property
+    def total_cap(self) -> float:
+        """Sum of all grounded capacitance [F]."""
+        return sum(n.cap for n in self._nodes.values())
+
+    def cap(self, name: str) -> float:
+        return self._nodes[name].cap
+
+    def parent(self, name: str) -> Optional[str]:
+        return self._nodes[name].parent
+
+    def resistance(self, name: str) -> float:
+        """Resistance of the branch from ``name`` to its parent [ohm]."""
+        return self._nodes[name].resistance
+
+    def children(self, name: str) -> List[str]:
+        return list(self._nodes[name].children)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def topological(self) -> List[str]:
+        """Nodes in root-first order."""
+        order: List[str] = []
+        stack = [self.root]
+        while stack:
+            name = stack.pop()
+            order.append(name)
+            stack.extend(self._nodes[name].children)
+        return order
+
+    def downstream_cap(self) -> Dict[str, float]:
+        """Capacitance in the subtree rooted at each node [F]."""
+        totals = {name: self._nodes[name].cap for name in self._nodes}
+        for name in reversed(self.topological()):
+            parent = self._nodes[name].parent
+            if parent is not None:
+                totals[parent] += totals[name]
+        return totals
+
+    @classmethod
+    def from_chain(cls, resistances, caps, root: str = "in") -> "RCTree":
+        """Build a simple RC ladder: ``root -(R0)- n0 -(R1)- n1 ...``.
+
+        Args:
+            resistances: branch resistances, root outward [ohm].
+            caps: grounded caps at each ladder node (same length) [F].
+            root: name of the driving node.
+        """
+        resistances = list(resistances)
+        caps = list(caps)
+        if len(resistances) != len(caps):
+            raise ValueError("resistances and caps must have equal length")
+        tree = cls(root)
+        parent = root
+        for i, (r, c) in enumerate(zip(resistances, caps)):
+            name = f"n{i}"
+            tree.add_node(name, parent=parent, resistance=r, cap=c)
+            parent = name
+        return tree

@@ -1,0 +1,28 @@
+"""Netlist and waveform I/O.
+
+* :mod:`repro.io.spice_netlist` — parse a SPICE-style transistor
+  netlist (a practical subset: M/C/R cards, .subckt-free flat decks)
+  into a :class:`~repro.circuit.stage.FlatNetlist`, and write one back.
+* :mod:`repro.io.waveforms` — save/load transient results as CSV and
+  render quick ASCII waveform plots for terminal inspection.
+"""
+
+from repro.io.spice_netlist import (
+    NetlistSyntaxError,
+    parse_spice_netlist,
+    write_spice_netlist,
+)
+from repro.io.waveforms import (
+    ascii_plot,
+    load_csv_result,
+    save_csv_result,
+)
+
+__all__ = [
+    "NetlistSyntaxError",
+    "parse_spice_netlist",
+    "write_spice_netlist",
+    "ascii_plot",
+    "load_csv_result",
+    "save_csv_result",
+]

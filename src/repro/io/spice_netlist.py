@@ -1,0 +1,223 @@
+"""SPICE-style netlist parsing (a practical flat subset).
+
+Supported cards (case insensitive, ``*`` and ``$`` comments,
+``+`` continuations):
+
+* ``Mname drain gate source bulk model W=.. L=..`` — transistor; the
+  model name decides the polarity (contains ``p`` -> PMOS).
+* ``Rname a b value`` / ``Rname a b W=.. L=..`` — a wire segment; with
+  explicit geometry the wire's RC comes from the technology, with a
+  plain value it becomes a wire of equivalent resistance and the
+  technology's default width.
+* ``Cname node 0 value`` — a grounded load capacitance.
+* ``.input a b c`` / ``.output x y`` — primary I/O markers
+  (non-standard but common in timing decks).
+* ``.end`` — optional terminator.
+
+Engineering suffixes (f, p, n, u, m, k, meg, g, t) are understood.
+
+The drain/source order of an ``M`` card maps to the structural
+src/snk pair of :class:`~repro.circuit.stage.FlatTransistor`; bulk
+terminals must be tied to the rails (checked).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.circuit.netlist import GND_NODE, VDD_NODE
+from repro.circuit.stage import FlatNetlist
+from repro.devices.technology import Technology
+
+_SUFFIXES = {
+    "t": 1e12, "g": 1e9, "meg": 1e6, "k": 1e3, "m": 1e-3,
+    "u": 1e-6, "n": 1e-9, "p": 1e-12, "f": 1e-15,
+}
+
+_NUMBER_RE = re.compile(
+    r"^([-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)(meg|[tgkmunpf])?$",
+    re.IGNORECASE)
+
+
+class NetlistSyntaxError(ValueError):
+    """A netlist line could not be parsed."""
+
+    def __init__(self, message: str, line_number: int, line: str):
+        super().__init__(f"line {line_number}: {message}: {line!r}")
+        self.line_number = line_number
+        self.line = line
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number with an optional engineering suffix."""
+    match = _NUMBER_RE.match(token.strip())
+    if not match:
+        raise ValueError(f"not a SPICE number: {token!r}")
+    base = float(match.group(1))
+    suffix = (match.group(2) or "").lower()
+    return base * _SUFFIXES.get(suffix, 1.0)
+
+
+def _parse_params(tokens: List[str]) -> Dict[str, float]:
+    params: Dict[str, float] = {}
+    for token in tokens:
+        if "=" not in token:
+            raise ValueError(f"expected name=value, got {token!r}")
+        name, value = token.split("=", 1)
+        params[name.lower()] = parse_value(value)
+    return params
+
+
+def _canonical_net(name: str) -> str:
+    lowered = name.lower()
+    if lowered in ("0", "gnd", "vss", "ground"):
+        return GND_NODE
+    if lowered in ("vdd", "vcc", "pwr"):
+        return VDD_NODE
+    return name
+
+
+def _join_continuations(text: str) -> List[str]:
+    lines: List[str] = []
+    for raw in text.splitlines():
+        stripped = raw.split("$", 1)[0].rstrip()
+        if not stripped or stripped.lstrip().startswith("*"):
+            lines.append("")
+            continue
+        if stripped.lstrip().startswith("+") and any(lines):
+            previous = max(i for i, l in enumerate(lines) if l)
+            lines[previous] += " " + stripped.lstrip()[1:].strip()
+            lines.append("")
+        else:
+            lines.append(stripped)
+    return lines
+
+
+def parse_spice_netlist(text: str, tech: Technology,
+                        name: str = "netlist") -> FlatNetlist:
+    """Parse a flat SPICE-style deck into a :class:`FlatNetlist`.
+
+    Args:
+        text: the netlist source.
+        tech: technology used for wire geometry back-calculation.
+        name: design name for the resulting netlist.
+
+    Raises:
+        NetlistSyntaxError: on any malformed card.
+    """
+    netlist = FlatNetlist(name, vdd=tech.vdd)
+    for number, line in enumerate(_join_continuations(text), start=1):
+        if not line:
+            continue
+        tokens = line.split()
+        card = tokens[0]
+        kind = card[0].upper()
+        try:
+            if kind == "M":
+                _parse_mosfet(netlist, tokens, tech)
+            elif kind == "R":
+                _parse_resistor(netlist, tokens, tech)
+            elif kind == "C":
+                _parse_capacitor(netlist, tokens)
+            elif kind == ".":
+                _parse_directive(netlist, tokens)
+            elif kind == "V":
+                continue  # supply declarations are implicit
+            else:
+                raise ValueError(f"unsupported card {card!r}")
+        except NetlistSyntaxError:
+            raise
+        except ValueError as exc:
+            raise NetlistSyntaxError(str(exc), number, line) from exc
+    return netlist
+
+
+def _parse_mosfet(netlist: FlatNetlist, tokens: List[str],
+                  tech: Technology) -> None:
+    if len(tokens) < 6:
+        raise ValueError("M card needs drain gate source bulk model")
+    name = tokens[0]
+    drain, gate, source, bulk = (_canonical_net(t) for t in tokens[1:5])
+    model = tokens[5].lower()
+    params = _parse_params(tokens[6:])
+    w = params.get("w")
+    l = params.get("l", tech.lmin)
+    if w is None:
+        raise ValueError("M card missing W=")
+    polarity = "p" if "p" in model else "n"
+    expected_bulk = VDD_NODE if polarity == "p" else GND_NODE
+    if bulk != expected_bulk:
+        raise ValueError(
+            f"bulk of {name} must tie to {expected_bulk}, got {bulk}")
+    if polarity == "p":
+        netlist.add_pmos(name, gate=gate, src=drain, snk=source, w=w, l=l)
+    else:
+        netlist.add_nmos(name, gate=gate, src=drain, snk=source, w=w, l=l)
+
+
+def _parse_resistor(netlist: FlatNetlist, tokens: List[str],
+                    tech: Technology) -> None:
+    if len(tokens) < 4:
+        raise ValueError("R card needs two nodes and a value or geometry")
+    name = tokens[0]
+    a, b = _canonical_net(tokens[1]), _canonical_net(tokens[2])
+    if "=" in tokens[3]:
+        params = _parse_params(tokens[3:])
+        w = params.get("w", tech.wmin)
+        l = params.get("l")
+        if l is None:
+            raise ValueError("R card with geometry needs L=")
+    else:
+        resistance = parse_value(tokens[3])
+        w = tech.wmin
+        l = resistance * w / tech.wire.sheet_resistance
+    netlist.add_wire(name, a=a, b=b, w=w, l=l)
+
+
+def _parse_capacitor(netlist: FlatNetlist, tokens: List[str]) -> None:
+    if len(tokens) < 4:
+        raise ValueError("C card needs two nodes and a value")
+    a, b = _canonical_net(tokens[1]), _canonical_net(tokens[2])
+    value = parse_value(tokens[3])
+    if b == GND_NODE:
+        netlist.set_load(a, value)
+    elif a == GND_NODE:
+        netlist.set_load(b, value)
+    else:
+        raise ValueError("only grounded load capacitors are supported")
+
+
+def _parse_directive(netlist: FlatNetlist, tokens: List[str]) -> None:
+    directive = tokens[0].lower()
+    if directive == ".input":
+        for net in tokens[1:]:
+            netlist.mark_input(_canonical_net(net))
+    elif directive == ".output":
+        for net in tokens[1:]:
+            netlist.mark_output(_canonical_net(net))
+    elif directive in (".end", ".ends"):
+        return
+    else:
+        raise ValueError(f"unsupported directive {directive!r}")
+
+
+def write_spice_netlist(netlist: FlatNetlist, tech: Technology) -> str:
+    """Render a :class:`FlatNetlist` back into a SPICE-style deck."""
+    lines = [f"* {netlist.name} (repro QWM reproduction)"]
+    for t in netlist.transistors:
+        model = "pmos" if t.polarity == "p" else "nmos"
+        bulk = VDD_NODE if t.polarity == "p" else GND_NODE
+        lines.append(
+            f"{t.name} {t.src} {t.gate} {t.snk} {bulk} {model} "
+            f"W={t.w:.4e} L={t.l:.4e}")
+    for w in netlist.wires:
+        lines.append(f"{w.name} {w.a} {w.b} W={w.w:.4e} L={w.l:.4e}")
+    for net, cap in sorted(netlist.load_caps.items()):
+        lines.append(f"Cload_{net} {net} 0 {cap:.4e}")
+    if netlist.primary_inputs:
+        lines.append(".input " + " ".join(sorted(netlist.primary_inputs)))
+    if netlist.primary_outputs:
+        lines.append(".output " + " ".join(sorted(netlist.primary_outputs)))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,74 @@
+"""Waveform persistence and terminal rendering."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.spice.results import TransientResult
+
+
+def save_csv_result(result: TransientResult, path: str,
+                    nodes: Optional[Sequence[str]] = None) -> None:
+    """Write a transient result to CSV (time column first)."""
+    names = list(nodes) if nodes else result.node_names
+    columns = [result.times] + [result.voltage(n) for n in names]
+    header = ",".join(["time"] + names)
+    np.savetxt(path, np.column_stack(columns), delimiter=",",
+               header=header, comments="")
+
+
+def load_csv_result(path: str, label: str = "csv") -> TransientResult:
+    """Read a transient result written by :func:`save_csv_result`."""
+    with open(path) as handle:
+        header = handle.readline().strip()
+    names = header.split(",")
+    if not names or names[0] != "time":
+        raise ValueError(f"{path}: expected a 'time' leading column")
+    data = np.loadtxt(path, delimiter=",", skiprows=1, ndmin=2)
+    if data.shape[1] != len(names):
+        raise ValueError(f"{path}: column count mismatch")
+    voltages = {name: data[:, i + 1] for i, name in enumerate(names[1:])}
+    return TransientResult(times=data[:, 0], voltages=voltages,
+                           label=label)
+
+
+def ascii_plot(result: TransientResult, nodes: Sequence[str],
+               width: int = 72, height: int = 16,
+               v_max: Optional[float] = None) -> str:
+    """Render waveforms as an ASCII chart (one glyph per node).
+
+    A quick terminal look at simulation output, in the spirit of the
+    line-printer plots classic SPICE shipped with.
+    """
+    if not nodes:
+        raise ValueError("need at least one node to plot")
+    glyphs = "*o+x#@%&"
+    t0, t1 = float(result.times[0]), float(result.times[-1])
+    if v_max is None:
+        v_max = max(float(np.max(result.voltage(n))) for n in nodes)
+    v_min = min(0.0, *(float(np.min(result.voltage(n))) for n in nodes))
+    span = max(v_max - v_min, 1e-12)
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    sample_times = np.linspace(t0, t1, width)
+    for node_idx, name in enumerate(nodes):
+        glyph = glyphs[node_idx % len(glyphs)]
+        values = result.sample(name, sample_times)
+        for col, value in enumerate(values):
+            row = int(round((v_max - value) / span * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = glyph
+
+    lines = []
+    for row_idx, row in enumerate(grid):
+        level = v_max - span * row_idx / (height - 1)
+        lines.append(f"{level:7.2f}V |" + "".join(row))
+    axis = " " * 9 + "+" + "-" * width
+    labels = (f"{' ':9} {t0 * 1e12:.0f} ps"
+              + " " * max(width - 24, 1)
+              + f"{t1 * 1e12:.0f} ps")
+    legend = "  ".join(f"{glyphs[i % len(glyphs)]}={n}"
+                       for i, n in enumerate(nodes))
+    return "\n".join(lines + [axis, labels, "legend: " + legend])

@@ -1,0 +1,189 @@
+"""A damped Newton-Raphson driver.
+
+Shared by the SPICE engine (per-timestep nonlinear solves) and the QWM
+matcher (per-critical-point solves).  The driver is deliberately generic:
+callers supply a residual function, a Jacobian function, and optionally a
+custom linear solver (the QWM matcher plugs in the bordered-tridiagonal
+Sherman-Morrison solve here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+ResidualFn = Callable[[np.ndarray], np.ndarray]
+JacobianFn = Callable[[np.ndarray], np.ndarray]
+LinearSolveFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+class NewtonConvergenceError(RuntimeError):
+    """Raised when Newton-Raphson fails to converge within max_iterations."""
+
+    def __init__(self, message: str, last_x: np.ndarray, last_residual_norm: float):
+        super().__init__(message)
+        self.last_x = last_x
+        self.last_residual_norm = last_residual_norm
+
+
+@dataclass
+class NewtonOptions:
+    """Convergence and damping controls for :class:`NewtonSolver`.
+
+    Attributes:
+        abstol: absolute residual tolerance (per component, inf-norm).
+        xtol: absolute update tolerance (per component, inf-norm).
+        max_iterations: iteration budget before giving up.
+        max_step: optional per-component cap on the Newton update magnitude
+            (SPICE-style voltage limiting); ``None`` disables clamping.
+        damping: multiplier applied to every accepted step (1.0 = full
+            Newton).
+        line_search: if True, halve the step up to ``line_search_tries``
+            times whenever the residual norm would increase.
+        line_search_tries: maximum halvings per iteration.
+    """
+
+    abstol: float = 1e-9
+    xtol: float = 1e-9
+    max_iterations: int = 100
+    max_step: Optional[float] = None
+    damping: float = 1.0
+    line_search: bool = True
+    line_search_tries: int = 8
+
+
+@dataclass
+class NewtonResult:
+    """Outcome of a Newton solve.
+
+    Attributes:
+        x: converged solution.
+        iterations: Newton iterations actually used.
+        residual_norm: final residual inf-norm.
+        converged: always True on a returned result (failures raise).
+        function_evaluations: number of residual evaluations (includes
+            line-search probes).
+    """
+
+    x: np.ndarray
+    iterations: int
+    residual_norm: float
+    converged: bool = True
+    function_evaluations: int = 0
+
+
+@dataclass
+class NewtonSolver:
+    """Damped Newton-Raphson with optional step limiting and line search.
+
+    Example:
+        >>> import numpy as np
+        >>> solver = NewtonSolver()
+        >>> result = solver.solve(
+        ...     residual=lambda x: np.array([x[0] ** 2 - 4.0]),
+        ...     jacobian=lambda x: np.array([[2.0 * x[0]]]),
+        ...     x0=np.array([1.0]),
+        ... )
+        >>> round(float(result.x[0]), 6)
+        2.0
+    """
+
+    options: NewtonOptions = field(default_factory=NewtonOptions)
+
+    def solve(
+        self,
+        residual: ResidualFn,
+        jacobian: JacobianFn,
+        x0: np.ndarray,
+        linear_solve: Optional[LinearSolveFn] = None,
+    ) -> NewtonResult:
+        """Solve ``residual(x) = 0`` starting from ``x0``.
+
+        Args:
+            residual: maps x to the residual vector F(x).
+            jacobian: maps x to dF/dx.  When ``linear_solve`` is provided
+                the Jacobian may be any object that solver understands.
+            x0: initial guess (not modified).
+            linear_solve: optional ``(jacobian_value, rhs) -> update``;
+                defaults to ``numpy.linalg.solve``.
+
+        Returns:
+            A :class:`NewtonResult` on convergence.
+
+        Raises:
+            NewtonConvergenceError: if the iteration budget is exhausted or
+                the linear solve fails irrecoverably.
+        """
+        opts = self.options
+        if linear_solve is None:
+            linear_solve = _dense_solve
+        x = np.array(x0, dtype=float, copy=True)
+        f = np.asarray(residual(x), dtype=float)
+        evals = 1
+        fnorm = _inf_norm(f)
+
+        for iteration in range(1, opts.max_iterations + 1):
+            if fnorm <= opts.abstol:
+                return NewtonResult(
+                    x=x,
+                    iterations=iteration - 1,
+                    residual_norm=fnorm,
+                    function_evaluations=evals,
+                )
+            jac = jacobian(x)
+            try:
+                step = np.asarray(linear_solve(jac, f), dtype=float)
+            except np.linalg.LinAlgError as exc:
+                raise NewtonConvergenceError(
+                    f"linear solve failed at iteration {iteration}: {exc}",
+                    last_x=x,
+                    last_residual_norm=fnorm,
+                ) from exc
+            step *= opts.damping
+            if opts.max_step is not None:
+                step = np.clip(step, -opts.max_step, opts.max_step)
+
+            x_new = x - step
+            f_new = np.asarray(residual(x_new), dtype=float)
+            evals += 1
+            fnorm_new = _inf_norm(f_new)
+
+            if opts.line_search and fnorm_new > fnorm and fnorm_new > opts.abstol:
+                shrink = 0.5
+                for _ in range(opts.line_search_tries):
+                    x_try = x - shrink * step
+                    f_try = np.asarray(residual(x_try), dtype=float)
+                    evals += 1
+                    fnorm_try = _inf_norm(f_try)
+                    if fnorm_try < fnorm_new:
+                        x_new, f_new, fnorm_new = x_try, f_try, fnorm_try
+                    if fnorm_try < fnorm:
+                        break
+                    shrink *= 0.5
+
+            step_norm = _inf_norm(x_new - x)
+            x, f, fnorm = x_new, f_new, fnorm_new
+            if fnorm <= opts.abstol or step_norm <= opts.xtol:
+                return NewtonResult(
+                    x=x,
+                    iterations=iteration,
+                    residual_norm=fnorm,
+                    function_evaluations=evals,
+                )
+
+        raise NewtonConvergenceError(
+            f"Newton-Raphson did not converge in {opts.max_iterations} iterations "
+            f"(|F| = {fnorm:.3e})",
+            last_x=x,
+            last_residual_norm=fnorm,
+        )
+
+
+def _dense_solve(jacobian_value: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    return np.linalg.solve(np.asarray(jacobian_value, dtype=float), rhs)
+
+
+def _inf_norm(vec: np.ndarray) -> float:
+    return float(np.max(np.abs(vec))) if vec.size else 0.0

@@ -1,0 +1,144 @@
+"""Simulation result containers and waveform measurement utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class SimulationStats:
+    """Cost accounting for one simulation run.
+
+    Attributes:
+        steps: accepted time steps (or QWM matching points).
+        newton_iterations: total Newton-Raphson iterations.
+        device_evaluations: total device-model evaluations.
+        wall_time: elapsed solver time [s] (excludes model building /
+            characterization, matching the paper's "transient time only"
+            comparison).
+    """
+
+    steps: int = 0
+    newton_iterations: int = 0
+    device_evaluations: int = 0
+    wall_time: float = 0.0
+
+    def merge(self, other: "SimulationStats") -> "SimulationStats":
+        """Accumulate another run's counters into a new object."""
+        return SimulationStats(
+            steps=self.steps + other.steps,
+            newton_iterations=self.newton_iterations + other.newton_iterations,
+            device_evaluations=self.device_evaluations
+            + other.device_evaluations,
+            wall_time=self.wall_time + other.wall_time,
+        )
+
+
+@dataclass
+class TransientResult:
+    """Waveforms produced by a transient analysis.
+
+    Attributes:
+        times: sample instants, ascending [s].
+        voltages: node name -> sampled voltages [V].
+        stats: solver cost accounting.
+        label: human-readable engine tag (``"spice"``, ``"qwm"``, ...).
+    """
+
+    times: np.ndarray
+    voltages: Dict[str, np.ndarray]
+    stats: SimulationStats = field(default_factory=SimulationStats)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.voltages = {
+            name: np.asarray(v, dtype=float)
+            for name, v in self.voltages.items()
+        }
+        for name, v in self.voltages.items():
+            if v.shape != self.times.shape:
+                raise ValueError(
+                    f"waveform {name!r} has {v.shape[0]} samples, "
+                    f"expected {self.times.shape[0]}")
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self.voltages)
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Sampled waveform of one node."""
+        return self.voltages[node]
+
+    def at(self, node: str, t: float) -> float:
+        """Linearly interpolated node voltage at time ``t``."""
+        return float(np.interp(t, self.times, self.voltages[node]))
+
+    def sample(self, node: str, times: np.ndarray) -> np.ndarray:
+        """Resample one node's waveform onto a new time axis."""
+        return np.interp(times, self.times, self.voltages[node])
+
+    def crossing_time(self, node: str, level: float,
+                      direction: str = "auto",
+                      after: float = 0.0) -> Optional[float]:
+        """First time the node crosses ``level`` (linear interpolation).
+
+        Args:
+            node: node name.
+            level: voltage threshold [V].
+            direction: ``"rise"``, ``"fall"`` or ``"auto"`` (either).
+            after: ignore crossings before this time [s].
+
+        Returns:
+            The crossing time, or None if the level is never crossed.
+        """
+        t = self.times
+        v = self.voltages[node]
+        for i in range(1, t.size):
+            if t[i] < after:
+                continue
+            v0, v1 = v[i - 1], v[i]
+            crossed_up = v0 < level <= v1
+            crossed_down = v0 > level >= v1
+            if direction == "rise" and not crossed_up:
+                continue
+            if direction == "fall" and not crossed_down:
+                continue
+            if direction == "auto" and not (crossed_up or crossed_down):
+                continue
+            if v1 == v0:
+                return float(t[i])
+            frac = (level - v0) / (v1 - v0)
+            return float(t[i - 1] + frac * (t[i] - t[i - 1]))
+        return None
+
+    def delay_50(self, node: str, vdd: float, t_input: float = 0.0,
+                 direction: str = "auto") -> Optional[float]:
+        """Propagation delay: input event to the node's 50% crossing [s]."""
+        crossing = self.crossing_time(node, 0.5 * vdd, direction=direction,
+                                      after=t_input)
+        if crossing is None:
+            return None
+        return crossing - t_input
+
+    def slew(self, node: str, vdd: float, direction: str,
+             low_frac: float = 0.1, high_frac: float = 0.9) -> Optional[float]:
+        """Transition time between the 10% and 90% levels [s]."""
+        lo, hi = low_frac * vdd, high_frac * vdd
+        if direction == "rise":
+            t_lo = self.crossing_time(node, lo, "rise")
+            t_hi = self.crossing_time(node, hi, "rise")
+        elif direction == "fall":
+            t_hi = self.crossing_time(node, hi, "fall")
+            t_lo = self.crossing_time(node, lo, "fall")
+        else:
+            raise ValueError("direction must be 'rise' or 'fall'")
+        if t_lo is None or t_hi is None:
+            return None
+        return abs(t_lo - t_hi)
+
+    def final_value(self, node: str) -> float:
+        return float(self.voltages[node][-1])

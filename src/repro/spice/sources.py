@@ -1,0 +1,151 @@
+"""Input voltage sources (waveforms driving stage gate inputs)."""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+
+class Source:
+    """Base class for time-dependent voltage sources."""
+
+    def value(self, t: float) -> float:
+        """Source voltage at time ``t`` [V]."""
+        raise NotImplementedError
+
+    def slope(self, t: float) -> float:
+        """Time derivative ``dv/dt`` at ``t`` [V/s].
+
+        The default is a centered finite difference; ideal steps and
+        constants report zero away from the discontinuity, which is the
+        correct contribution to the QWM Jacobian's time column.
+        """
+        h = 1e-15
+        return (self.value(t + h) - self.value(t - h)) / (2.0 * h)
+
+    def __call__(self, t: float) -> float:
+        return self.value(t)
+
+
+@dataclass(frozen=True)
+class ConstantSource(Source):
+    """A DC level."""
+
+    level: float
+
+    def value(self, t: float) -> float:
+        return self.level
+
+    def slope(self, t: float) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class StepSource(Source):
+    """An ideal step from ``v0`` to ``v1`` at ``t_step``.
+
+    The paper's simplified presentation assumes step inputs ("the
+    switching input is a step signal"); the implementation, like the
+    paper's, does not require them.
+    """
+
+    v0: float
+    v1: float
+    t_step: float = 0.0
+
+    def value(self, t: float) -> float:
+        return self.v1 if t >= self.t_step else self.v0
+
+    def slope(self, t: float) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class RampSource(Source):
+    """A saturated ramp from ``v0`` to ``v1`` starting at ``t_start``."""
+
+    v0: float
+    v1: float
+    t_start: float = 0.0
+    t_rise: float = 50e-12
+
+    def __post_init__(self) -> None:
+        if self.t_rise <= 0:
+            raise ValueError("t_rise must be positive")
+
+    def value(self, t: float) -> float:
+        if t <= self.t_start:
+            return self.v0
+        if t >= self.t_start + self.t_rise:
+            return self.v1
+        frac = (t - self.t_start) / self.t_rise
+        return self.v0 + (self.v1 - self.v0) * frac
+
+    def slope(self, t: float) -> float:
+        if self.t_start < t < self.t_start + self.t_rise:
+            return (self.v1 - self.v0) / self.t_rise
+        return 0.0
+
+
+@dataclass(frozen=True)
+class PulseSource(Source):
+    """A SPICE-style pulse: delay, rise, width, fall, period."""
+
+    v0: float
+    v1: float
+    delay: float
+    rise: float
+    width: float
+    fall: float
+    period: float = 0.0
+
+    def value(self, t: float) -> float:
+        if t < self.delay:
+            return self.v0
+        local = t - self.delay
+        if self.period > 0:
+            local = local % self.period
+        if local < self.rise:
+            return self.v0 + (self.v1 - self.v0) * local / self.rise
+        local -= self.rise
+        if local < self.width:
+            return self.v1
+        local -= self.width
+        if local < self.fall:
+            return self.v1 + (self.v0 - self.v1) * local / self.fall
+        return self.v0
+
+
+class PWLSource(Source):
+    """Piecewise-linear source from ``(time, value)`` breakpoints."""
+
+    def __init__(self, points: Sequence[Sequence[float]]):
+        if len(points) < 1:
+            raise ValueError("PWL source needs at least one point")
+        times = [float(p[0]) for p in points]
+        if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
+            raise ValueError("PWL times must be strictly increasing")
+        self.times = times
+        self.values = [float(p[1]) for p in points]
+
+    def value(self, t: float) -> float:
+        times, values = self.times, self.values
+        if t <= times[0]:
+            return values[0]
+        if t >= times[-1]:
+            return values[-1]
+        hi = bisect.bisect_right(times, t)
+        lo = hi - 1
+        frac = (t - times[lo]) / (times[hi] - times[lo])
+        return values[lo] + (values[hi] - values[lo]) * frac
+
+
+SourceLike = Union[Source, float, int]
+
+
+def as_source(value: SourceLike) -> Source:
+    """Coerce a number into a :class:`ConstantSource`."""
+    if isinstance(value, Source):
+        return value
+    return ConstantSource(float(value))

@@ -1,0 +1,35 @@
+"""Shared fixtures: one characterized technology for the whole session."""
+
+import pytest
+
+from repro.devices import CMOSP35, TableModelLibrary, nmos_model, pmos_model
+from repro.core import WaveformEvaluator
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return CMOSP35
+
+
+@pytest.fixture(scope="session")
+def library(tech):
+    """Session-wide table library (characterization is expensive)."""
+    lib = TableModelLibrary(tech)
+    lib.get("n")
+    lib.get("p")
+    return lib
+
+
+@pytest.fixture(scope="session")
+def nmos(tech):
+    return nmos_model(tech)
+
+
+@pytest.fixture(scope="session")
+def pmos(tech):
+    return pmos_model(tech)
+
+
+@pytest.fixture(scope="session")
+def evaluator(tech, library):
+    return WaveformEvaluator(tech, library=library)

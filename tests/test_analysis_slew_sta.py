@@ -1,0 +1,98 @@
+"""Tests for slew-propagating STA and arc sensitization."""
+
+import pytest
+
+from repro.analysis import StaticTimingAnalyzer
+from repro.circuit import builders, extract_stages
+from repro.circuit.netlist import GND_NODE, VDD_NODE
+from repro.circuit.stage import FlatNetlist
+
+
+@pytest.fixture(scope="module")
+def fig1_graph(tech):
+    return extract_stages(builders.pass_transistor_netlist(tech),
+                          tech=tech)
+
+
+class TestStageArc:
+    def test_arc_returns_delay_and_slew(self, tech, library, fig1_graph):
+        sta = StaticTimingAnalyzer(tech, library=library)
+        inv_stage = fig1_graph.stage_of_net["out"]
+        arc = sta.stage_arc(inv_stage, "out", "fall", "z")
+        assert arc is not None
+        delay, slew = arc
+        assert delay > 0
+        assert slew is not None and slew > 0
+
+    def test_pass_gate_sensitization_fallback(self, tech, library,
+                                              fig1_graph):
+        # z rising requires the NMOS pass gate HIGH even though the
+        # default rise sensitization parks inputs low.
+        sta = StaticTimingAnalyzer(tech, library=library)
+        merged = fig1_graph.stage_of_net["z"]
+        arc = sta.stage_arc(merged, "z", "rise", "b")
+        assert arc is not None
+
+    def test_ramp_driven_arc(self, tech, library, fig1_graph):
+        sta = StaticTimingAnalyzer(tech, library=library)
+        merged = fig1_graph.stage_of_net["z"]
+        step_arc = sta.stage_arc(merged, "z", "fall", "a")
+        ramp_arc = sta.stage_arc(merged, "z", "fall", "a",
+                                 input_slew=20e-12)
+        assert step_arc is not None and ramp_arc is not None
+        # Same order of magnitude; a finite input edge shifts the arc.
+        assert ramp_arc[0] == pytest.approx(step_arc[0], rel=0.6)
+
+    def test_false_arc_rejected(self, tech, library):
+        # An arc whose output cannot transition must return None: a
+        # pure NMOS stack has no pull-up, so a "rise" arc is impossible.
+        sta = StaticTimingAnalyzer(tech, library=library)
+        stack = builders.nmos_stack(tech, 2, widths=[1e-6] * 2)
+        assert sta.stage_arc(stack, "out", "rise", "g1") is None
+
+    def test_ratioed_prestate_still_yields_arc(self, tech, library):
+        # An inverter with an extra always-on pull-down: the pre-state
+        # is ratioed high, and the fall arc from 'a' is real.
+        sta = StaticTimingAnalyzer(tech, library=library)
+        net = FlatNetlist("pair", vdd=tech.vdd)
+        net.add_pmos("p0", gate="a", src=VDD_NODE, snk="q",
+                     w=2e-6, l=tech.lmin)
+        net.add_nmos("n0", gate="a", src="q", snk=GND_NODE,
+                     w=1e-6, l=tech.lmin)
+        net.add_nmos("n1", gate="b", src="q", snk=GND_NODE,
+                     w=0.5e-6, l=tech.lmin)
+        net.mark_output("q")
+        graph = extract_stages(net, tech=tech)
+        arc = sta.stage_arc(graph.stages[0], "q", "fall", "a")
+        assert arc is not None
+        assert arc[0] > 0
+
+
+class TestSlewMode:
+    def test_slew_mode_produces_arrivals_with_slews(self, tech, library,
+                                                    fig1_graph):
+        sta = StaticTimingAnalyzer(tech, library=library,
+                                   propagate_slews=True)
+        result = sta.analyze(fig1_graph)
+        assert result.worst is not None
+        assert result.worst.slew is not None
+        assert result.worst.slew > 0
+
+    def test_step_and_slew_agree_roughly(self, tech, library,
+                                         fig1_graph):
+        step = StaticTimingAnalyzer(tech, library=library).analyze(
+            fig1_graph)
+        slew = StaticTimingAnalyzer(tech, library=library,
+                                    propagate_slews=True).analyze(
+            fig1_graph)
+        assert slew.worst.time == pytest.approx(step.worst.time,
+                                                rel=0.5)
+
+    def test_primary_input_slew_recorded(self, tech, library,
+                                         fig1_graph):
+        sta = StaticTimingAnalyzer(tech, library=library,
+                                   propagate_slews=True,
+                                   input_slew=40e-12)
+        result = sta.analyze(fig1_graph)
+        a_rise = result.arrival("a", "rise")
+        assert a_rise.slew == pytest.approx(40e-12)

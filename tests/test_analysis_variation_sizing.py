@@ -1,0 +1,116 @@
+"""Tests for Monte-Carlo variation and greedy sizing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import GreedySizer, MonteCarloTiming
+from repro.circuit import builders
+from repro.core import WaveformEvaluator
+from repro.spice import ConstantSource, StepSource
+
+
+def _stack_inputs(tech, k):
+    inputs = {"g1": StepSource(0, tech.vdd, 0)}
+    inputs.update({f"g{j}": ConstantSource(tech.vdd)
+                   for j in range(2, k + 1)})
+    return inputs
+
+
+@pytest.fixture(scope="module")
+def mc_evaluator(tech, library):
+    return WaveformEvaluator(tech, library=library)
+
+
+class TestMonteCarlo:
+    def test_distribution_centers_on_nominal(self, tech, mc_evaluator):
+        st = builders.nmos_stack(tech, 3, widths=[1e-6] * 3,
+                                 load=10e-15)
+        mc = MonteCarloTiming(mc_evaluator, width_sigma=0.05,
+                              rng=np.random.default_rng(1))
+        dist = mc.run(st, "out", "fall", _stack_inputs(tech, 3),
+                      n_samples=40)
+        assert dist.mean == pytest.approx(dist.nominal, rel=0.05)
+        assert dist.std > 0
+        assert dist.sigma_over_mean < 0.15
+
+    def test_larger_sigma_widens_distribution(self, tech, mc_evaluator):
+        st = builders.nmos_stack(tech, 3, widths=[1e-6] * 3,
+                                 load=10e-15)
+        inputs = _stack_inputs(tech, 3)
+        small = MonteCarloTiming(mc_evaluator, width_sigma=0.02,
+                                 rng=np.random.default_rng(2)).run(
+            st, "out", "fall", inputs, n_samples=40)
+        large = MonteCarloTiming(mc_evaluator, width_sigma=0.10,
+                                 rng=np.random.default_rng(2)).run(
+            st, "out", "fall", inputs, n_samples=40)
+        assert large.std > small.std
+
+    def test_reproducible_with_seed(self, tech, mc_evaluator):
+        st = builders.nmos_stack(tech, 2, widths=[1e-6] * 2)
+        inputs = _stack_inputs(tech, 2)
+        a = MonteCarloTiming(mc_evaluator,
+                             rng=np.random.default_rng(7)).run(
+            st, "out", "fall", inputs, n_samples=10)
+        b = MonteCarloTiming(mc_evaluator,
+                             rng=np.random.default_rng(7)).run(
+            st, "out", "fall", inputs, n_samples=10)
+        np.testing.assert_allclose(a.samples, b.samples)
+
+    def test_quantiles_ordered(self, tech, mc_evaluator):
+        st = builders.nmos_stack(tech, 2, widths=[1e-6] * 2)
+        dist = MonteCarloTiming(mc_evaluator).run(
+            st, "out", "fall", _stack_inputs(tech, 2), n_samples=30)
+        assert dist.quantile(0.1) <= dist.quantile(0.5) \
+            <= dist.quantile(0.9)
+
+    def test_validation(self, tech, mc_evaluator):
+        with pytest.raises(ValueError):
+            MonteCarloTiming(mc_evaluator, width_sigma=0.5)
+        st = builders.nmos_stack(tech, 2, widths=[1e-6] * 2)
+        with pytest.raises(ValueError):
+            MonteCarloTiming(mc_evaluator).run(
+                st, "out", "fall", _stack_inputs(tech, 2), n_samples=1)
+
+
+class TestGreedySizer:
+    def test_sizing_reduces_delay(self, tech, mc_evaluator):
+        st = builders.nmos_stack(tech, 3, widths=[1e-6] * 3,
+                                 load=30e-15)
+        sizer = GreedySizer(mc_evaluator, max_iterations=6)
+        result = sizer.optimize(st, "out", "fall",
+                                _stack_inputs(tech, 3))
+        assert result.final_delay < result.initial_delay
+        assert result.improvement > 0.1
+        assert result.steps  # at least one accepted move
+
+    def test_original_stage_untouched(self, tech, mc_evaluator):
+        st = builders.nmos_stack(tech, 2, widths=[1e-6] * 2,
+                                 load=20e-15)
+        widths_before = [e.w for e in st.transistors]
+        GreedySizer(mc_evaluator, max_iterations=3).optimize(
+            st, "out", "fall", _stack_inputs(tech, 2))
+        assert [e.w for e in st.transistors] == widths_before
+
+    def test_target_stops_early(self, tech, mc_evaluator):
+        st = builders.nmos_stack(tech, 3, widths=[1e-6] * 3,
+                                 load=30e-15)
+        sizer = GreedySizer(mc_evaluator, max_iterations=10)
+        loose = sizer.optimize(st, "out", "fall",
+                               _stack_inputs(tech, 3),
+                               target_delay=1.0)  # already met
+        assert loose.met_target
+        assert not loose.steps
+
+    def test_width_ceiling_respected(self, tech, mc_evaluator):
+        st = builders.nmos_stack(tech, 2, widths=[1e-6] * 2,
+                                 load=30e-15)
+        sizer = GreedySizer(mc_evaluator, max_width=2e-6,
+                            max_iterations=10)
+        result = sizer.optimize(st, "out", "fall",
+                                _stack_inputs(tech, 2))
+        assert all(e.w <= 2e-6 + 1e-12
+                   for e in result.stage.transistors)
+
+    def test_step_factor_validated(self, tech, mc_evaluator):
+        with pytest.raises(ValueError):
+            GreedySizer(mc_evaluator, step_factor=1.0)

@@ -1,0 +1,147 @@
+"""Tests for the benchmark-circuit builders."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import builders, validate_stage
+from repro.circuit.netlist import GND_NODE, VDD_NODE
+
+
+class TestInverter:
+    def test_structure(self, tech):
+        inv = builders.inverter(tech)
+        validate_stage(inv)
+        assert len(inv.transistors) == 2
+        assert inv.inputs == ["a"]
+        assert [n.name for n in inv.outputs] == ["out"]
+
+    def test_custom_sizing(self, tech):
+        inv = builders.inverter(tech, wn=3e-6, wp=5e-6)
+        assert inv.edge("MN").w == 3e-6
+        assert inv.edge("MP").w == 5e-6
+
+
+class TestNand:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_device_count(self, tech, n):
+        nd = builders.nand_gate(tech, n)
+        validate_stage(nd)
+        assert len(nd.transistors) == 2 * n
+        assert len(nd.inputs) == n
+
+    def test_series_stack_ordering(self, tech):
+        nd = builders.nand_gate(tech, 3)
+        # a0 device touches ground; a2 device touches out.
+        m0 = nd.edge("MN0")
+        assert GND_NODE in (m0.src.name, m0.snk.name)
+        m2 = nd.edge("MN2")
+        assert "out" in (m2.src.name, m2.snk.name)
+
+    def test_pmos_parallel(self, tech):
+        nd = builders.nand_gate(tech, 3)
+        for i in range(3):
+            mp = nd.edge(f"MP{i}")
+            assert mp.src.name == VDD_NODE
+            assert mp.snk.name == "out"
+
+    def test_rejects_single_input(self, tech):
+        with pytest.raises(ValueError):
+            builders.nand_gate(tech, 1)
+
+
+class TestNor:
+    def test_structure(self, tech):
+        nr = builders.nor_gate(tech, 3)
+        validate_stage(nr)
+        assert len(nr.transistors) == 6
+        # NMOS in parallel to ground.
+        for i in range(3):
+            mn = nr.edge(f"MN{i}")
+            assert GND_NODE in (mn.src.name, mn.snk.name)
+
+    def test_rejects_single_input(self, tech):
+        with pytest.raises(ValueError):
+            builders.nor_gate(tech, 1)
+
+
+class TestStack:
+    @pytest.mark.parametrize("k", [1, 2, 5, 10])
+    def test_length(self, tech, k):
+        st = builders.nmos_stack(tech, k, widths=[1e-6] * k)
+        validate_stage(st)
+        assert len(st.transistors) == k
+        assert len(st.inputs) == k
+
+    def test_random_widths_reproducible(self, tech):
+        a = builders.nmos_stack(tech, 5,
+                                rng=np.random.default_rng(42))
+        b = builders.nmos_stack(tech, 5,
+                                rng=np.random.default_rng(42))
+        for k in range(1, 6):
+            assert a.edge(f"M{k}").w == b.edge(f"M{k}").w
+
+    def test_widths_in_documented_range(self, tech):
+        st = builders.nmos_stack(tech, 8, rng=np.random.default_rng(0))
+        for e in st.transistors:
+            assert 2.0 * tech.wmin <= e.w <= 8.0 * tech.wmin
+
+    def test_wrong_width_count_rejected(self, tech):
+        with pytest.raises(ValueError):
+            builders.nmos_stack(tech, 3, widths=[1e-6])
+
+    def test_zero_length_rejected(self, tech):
+        with pytest.raises(ValueError):
+            builders.nmos_stack(tech, 0)
+
+
+class TestManchester:
+    def test_structure(self, tech):
+        mc = builders.manchester_carry_chain(tech, bits=4)
+        validate_stage(mc)
+        # Per bit: pass + generate + precharge; plus cin pull + precharge0.
+        assert len(mc.transistors) == 3 * 4 + 2
+        assert len(mc.outputs) == 4
+
+    def test_longest_path_is_bits_plus_one_nmos(self, tech):
+        # The ripple path c0 -> c5 crosses 5 pass devices plus the cin
+        # pull-down: 6 series NMOS for bits=5 (the paper's Fig. 9 case).
+        mc = builders.manchester_carry_chain(tech, bits=5)
+        names = {e.name for e in mc.transistors}
+        assert {"MCIN"} | {f"MPASS{i}" for i in range(5)} <= names
+
+    def test_inputs(self, tech):
+        mc = builders.manchester_carry_chain(tech, bits=2)
+        assert set(mc.inputs) == {"phi", "cin_pull", "P0", "P1", "G0", "G1"}
+
+
+class TestDecoder:
+    @pytest.mark.parametrize("levels", [1, 2, 3])
+    def test_leaf_count(self, tech, levels):
+        dec = builders.decoder_tree(tech, levels=levels)
+        validate_stage(dec)
+        assert len(dec.outputs) == 2 ** levels
+
+    def test_wire_lengths_double_per_level(self, tech):
+        dec = builders.decoder_tree(tech, levels=3,
+                                    unit_wire_length=10e-6)
+        assert dec.edge("W0").l == pytest.approx(10e-6)
+        assert dec.edge("W00").l == pytest.approx(20e-6)
+        assert dec.edge("W000").l == pytest.approx(40e-6)
+
+    def test_transistor_count(self, tech):
+        dec = builders.decoder_tree(tech, levels=3)
+        # enable + 2 + 4 + 8 pass devices.
+        assert len(dec.transistors) == 1 + 2 + 4 + 8
+
+    def test_address_inputs(self, tech):
+        dec = builders.decoder_tree(tech, levels=2)
+        assert set(dec.inputs) == {"phi", "A0", "A0b", "A1", "A1b"}
+
+
+class TestFig1Netlist:
+    def test_marks_ios(self, tech):
+        net = builders.pass_transistor_netlist(tech)
+        assert net.primary_inputs == {"a", "b", "sel"}
+        assert net.primary_outputs == {"out"}
+        assert len(net.transistors) == 7
+        assert len(net.wires) == 1

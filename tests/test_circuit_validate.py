@@ -1,0 +1,62 @@
+"""Tests for logic-stage structural validation."""
+
+import pytest
+
+from repro.circuit import LogicStage, StageValidationError, validate_stage
+from repro.circuit.netlist import GND_NODE, VDD_NODE
+
+
+def test_valid_inverter_passes(tech):
+    s = LogicStage("inv", tech.vdd)
+    s.add_pmos("MP", VDD_NODE, "out", "a", 2e-6, tech.lmin)
+    s.add_nmos("MN", "out", GND_NODE, "a", 1e-6, tech.lmin)
+    s.mark_output("out")
+    validate_stage(s)
+
+
+def test_empty_stage_fails(tech):
+    s = LogicStage("empty", tech.vdd)
+    with pytest.raises(StageValidationError, match="no circuit elements"):
+        validate_stage(s)
+
+
+def test_dangling_node_fails(tech):
+    s = LogicStage("dangling", tech.vdd)
+    s.add_nmos("MN", "out", GND_NODE, "a", 1e-6, tech.lmin)
+    s.add_node("orphan")
+    s.mark_output("out")
+    with pytest.raises(StageValidationError, match="dangling"):
+        validate_stage(s)
+
+
+def test_unreachable_island_fails(tech):
+    s = LogicStage("island", tech.vdd)
+    s.add_nmos("MN", "out", GND_NODE, "a", 1e-6, tech.lmin)
+    s.add_wire("W", "i1", "i2", 1e-6, 1e-6)
+    s.mark_output("out")
+    with pytest.raises(StageValidationError, match="unreachable"):
+        validate_stage(s)
+
+
+def test_missing_output_fails(tech):
+    s = LogicStage("noout", tech.vdd)
+    s.add_nmos("MN", "x", GND_NODE, "a", 1e-6, tech.lmin)
+    with pytest.raises(StageValidationError, match="no marked outputs"):
+        validate_stage(s)
+
+
+def test_missing_output_ok_when_not_required(tech):
+    s = LogicStage("noout", tech.vdd)
+    s.add_nmos("MN", "x", GND_NODE, "a", 1e-6, tech.lmin)
+    validate_stage(s, require_outputs=False)
+
+
+def test_multiple_problems_reported_together(tech):
+    s = LogicStage("multi", tech.vdd)
+    s.add_nmos("MN", "x", GND_NODE, "a", 1e-6, tech.lmin)
+    s.add_node("orphan")
+    with pytest.raises(StageValidationError) as info:
+        validate_stage(s)
+    message = str(info.value)
+    assert "dangling" in message
+    assert "no marked outputs" in message

@@ -1,0 +1,162 @@
+"""Tests for the timing reports and the CLI."""
+
+import pytest
+
+from repro.analysis import IncrementalTimer
+from repro.analysis.report import (
+    arrival_report,
+    corner_report,
+    critical_path_report,
+    design_summary,
+)
+from repro.circuit import extract_stages
+from repro.cli import main, parse_source_spec
+from repro.io import parse_spice_netlist
+from repro.spice import ConstantSource, RampSource, StepSource
+
+CHAIN_DECK = """
+* two inverters
+Mp0 n0 a VDD VDD pmos W=2u L=0.35u
+Mn0 n0 a 0 0 nmos W=1u L=0.35u
+Mp1 y n0 VDD VDD pmos W=2u L=0.35u
+Mn1 y n0 0 0 nmos W=1u L=0.35u
+Cy y 0 5f
+.input a
+.output y
+.end
+"""
+
+INV_DECK = """
+Mp out a VDD VDD pmos W=2u L=0.35u
+Mn out a 0 0 nmos W=1u L=0.35u
+Cout out 0 5f
+.input a
+.output out
+"""
+
+
+@pytest.fixture(scope="module")
+def sta_result(tech, library):
+    netlist = parse_spice_netlist(CHAIN_DECK, tech, "chain")
+    graph = extract_stages(netlist, tech=tech)
+    timer = IncrementalTimer(tech, graph, library=library)
+    return graph, timer.analyze()
+
+
+class TestReports:
+    def test_arrival_report_lists_events(self, sta_result):
+        _, result = sta_result
+        text = arrival_report(result)
+        assert "y" in text and "rise" in text
+        assert "primary input" in text
+
+    def test_arrival_report_limit(self, sta_result):
+        _, result = sta_result
+        text = arrival_report(result, limit=2)
+        # header(3) + 2 rows
+        assert len(text.splitlines()) == 5
+
+    def test_critical_path_sums(self, sta_result):
+        _, result = sta_result
+        text = critical_path_report(result)
+        assert "data arrival" in text
+        assert f"{result.worst.time * 1e12:9.2f} ps" in text
+
+    def test_slack_met_and_violated(self, sta_result):
+        _, result = sta_result
+        met = critical_path_report(result, required=1e-9)
+        assert "MET" in met
+        violated = critical_path_report(result, required=1e-12)
+        assert "VIOLATED" in violated
+
+    def test_corner_report(self):
+        text = corner_report({"tt": 100e-12, "ss": 130e-12,
+                              "ff": 80e-12})
+        assert "slowest" in text and "fastest" in text
+        assert "62.5%" in text  # (130-80)/80
+
+    def test_design_summary(self, sta_result):
+        graph, result = sta_result
+        text = design_summary(graph, result)
+        assert "2 logic stages" in text
+        assert "4 transistors" in text
+
+
+class TestSourceSpec:
+    def test_dc(self):
+        name, src = parse_source_spec("a=dc:3.3")
+        assert name == "a"
+        assert isinstance(src, ConstantSource)
+        assert src.value(0) == pytest.approx(3.3)
+
+    def test_step_with_suffixes(self):
+        _, src = parse_source_spec("x=step:0:3.3:20p")
+        assert isinstance(src, StepSource)
+        assert src.value(19e-12) == 0.0
+        assert src.value(21e-12) == pytest.approx(3.3)
+
+    def test_ramp(self):
+        _, src = parse_source_spec("x=ramp:0:3.3:10p:40p")
+        assert isinstance(src, RampSource)
+        assert src.value(30e-12) == pytest.approx(3.3 * 0.5)
+
+    @pytest.mark.parametrize("bad", ["noequals", "a=step:1", "a=warp:1:2"])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_source_spec(bad)
+
+
+class TestCli:
+    def test_sta_command(self, tmp_path, capsys):
+        deck = tmp_path / "chain.sp"
+        deck.write_text(CHAIN_DECK)
+        code = main(["sta", str(deck), "--required", "500p"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Critical path" in out
+        assert "MET" in out
+
+    def test_sta_violated_exit_code(self, tmp_path, capsys):
+        deck = tmp_path / "chain.sp"
+        deck.write_text(CHAIN_DECK)
+        code = main(["sta", str(deck), "--required", "1p"])
+        assert code == 1
+
+    def test_simulate_command(self, tmp_path, capsys):
+        deck = tmp_path / "inv.sp"
+        deck.write_text(INV_DECK)
+        code = main(["simulate", str(deck),
+                     "--input", "a=step:0:3.3:20p",
+                     "--t-stop", "150p", "--no-plot"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "50% at" in out
+
+    def test_simulate_plot(self, tmp_path, capsys):
+        deck = tmp_path / "inv.sp"
+        deck.write_text(INV_DECK)
+        code = main(["simulate", str(deck),
+                     "--input", "a=step:0:3.3:20p",
+                     "--t-stop", "100p", "--width", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "legend" in out
+
+    def test_simulate_rejects_multistage(self, tmp_path, capsys):
+        deck = tmp_path / "chain.sp"
+        deck.write_text(CHAIN_DECK)
+        code = main(["simulate", str(deck), "--no-plot"])
+        assert code == 2
+        assert "single-stage" in capsys.readouterr().err
+
+    def test_missing_deck(self, capsys):
+        code = main(["sta", "/nonexistent/deck.sp"])
+        assert code == 2
+
+    def test_characterize_command(self, capsys):
+        code = main(["characterize", "--polarity", "n",
+                     "--grid-step", "0.8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "n-table" in out
+        assert "Ion(n)" in out

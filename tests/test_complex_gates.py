@@ -1,0 +1,145 @@
+"""QWM on branching pull networks (AOI/OAI complex gates)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import accuracy_percent
+from repro.circuit import DeviceKind, builders, validate_stage
+from repro.core import WaveformEvaluator
+from repro.spice import (
+    ConstantSource,
+    StepSource,
+    TransientOptions,
+    TransientSimulator,
+)
+
+T0 = 20e-12
+
+
+class TestStructure:
+    def test_aoi21_valid(self, tech):
+        stage = builders.aoi21_gate(tech)
+        validate_stage(stage)
+        assert len(stage.transistors) == 6
+        assert set(stage.inputs) == {"a0", "a1", "a2"}
+
+    def test_oai21_valid(self, tech):
+        stage = builders.oai21_gate(tech)
+        validate_stage(stage)
+        assert len(stage.transistors) == 6
+
+
+class TestPathExtraction:
+    def test_aoi21_series_branch(self, tech, evaluator):
+        # a0/a1 high, a2 low: the discharge goes through the 2-stack.
+        stage = builders.aoi21_gate(tech)
+        inputs = {"a0": StepSource(0, tech.vdd, T0),
+                  "a1": ConstantSource(tech.vdd),
+                  "a2": ConstantSource(0.0)}
+        path = evaluator.extract(stage, "out", "fall", inputs)
+        assert path.length == 2
+        assert [d.name for d in path.devices] == ["MN0", "MN1"]
+
+    def test_aoi21_parallel_branch(self, tech, evaluator):
+        # Only a2 high: the single parallel device discharges.
+        stage = builders.aoi21_gate(tech)
+        inputs = {"a0": ConstantSource(0.0),
+                  "a1": ConstantSource(0.0),
+                  "a2": StepSource(0, tech.vdd, T0)}
+        path = evaluator.extract(stage, "out", "fall", inputs)
+        assert path.length == 1
+        assert path.devices[0].name == "MN2"
+
+    def test_off_branch_loads_output(self, tech, evaluator):
+        # The parallel off-branch junctions load the output node.
+        stage = builders.aoi21_gate(tech)
+        inputs = {"a0": ConstantSource(0.0),
+                  "a1": ConstantSource(0.0),
+                  "a2": StepSource(0, tech.vdd, T0)}
+        path = evaluator.extract(stage, "out", "fall", inputs)
+        # out touches MN1, MN2, MP2 -> 3 junction contributions.
+        assert len(path.junctions[-1]) == 3
+
+
+class TestAccuracy:
+    # Complementary branches that stay conducting (an ON off-path
+    # device with a hidden node behind it) are absorbed as rigidly
+    # tracking capacitance.  The real side node lags the path node, so
+    # this is a *pessimistic* bound: QWM's delay upper-bounds the
+    # reference (the safe direction for STA) while staying within ~20%.
+    @pytest.mark.parametrize("builder,switch,others,direction,floor", [
+        (builders.aoi21_gate, "a0",
+         {"a1": "vdd", "a2": "gnd"}, "fall", 80.0),
+        (builders.aoi21_gate, "a2",
+         {"a0": "gnd", "a1": "gnd"}, "fall", 93.0),
+        (builders.oai21_gate, "a2",
+         {"a0": "vdd", "a1": "gnd"}, "fall", 85.0),
+    ], ids=["aoi-stack", "aoi-parallel", "oai-series"])
+    def test_fall_against_reference(self, tech, evaluator, builder,
+                                    switch, others, direction, floor):
+        stage = builder(tech)
+        inputs = {switch: StepSource(0, tech.vdd, T0)}
+        for name, level in others.items():
+            inputs[name] = ConstantSource(
+                tech.vdd if level == "vdd" else 0.0)
+        sol = evaluator.evaluate(stage, "out", direction, inputs,
+                                 precharge="dc")
+        sim = TransientSimulator(stage, tech, TransientOptions(
+            t_stop=400e-12, dt=1e-12))
+        res = sim.run(inputs)
+        d_ref = res.delay_50("out", tech.vdd, t_input=T0,
+                             direction=direction)
+        d_qwm = sol.delay(t_input=T0)
+        assert accuracy_percent(d_qwm, d_ref) > floor
+        # Conservative sign: absorbed side branches never make QWM
+        # optimistic.
+        assert d_qwm > 0.97 * d_ref
+
+    def test_oai21_rise_through_pmos_stack(self, tech, evaluator):
+        # a1 falls with a0 high: pull-up through the MP0-MP1 stack.
+        stage = builders.oai21_gate(tech)
+        inputs = {"a1": StepSource(tech.vdd, 0.0, T0),
+                  "a0": ConstantSource(0.0),
+                  "a2": ConstantSource(tech.vdd)}
+        sol = evaluator.evaluate(stage, "out", "rise", inputs,
+                                 precharge="dc")
+        sim = TransientSimulator(stage, tech, TransientOptions(
+            t_stop=400e-12, dt=1e-12))
+        res = sim.run(inputs)
+        d_ref = res.delay_50("out", tech.vdd, t_input=T0,
+                             direction="rise")
+        assert accuracy_percent(sol.delay(t_input=T0), d_ref) > 92.0
+
+
+class TestMonotonicityProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(load=st.floats(2e-15, 40e-15))
+    def test_delay_monotone_in_load(self, tech, evaluator, load):
+        light = builders.nmos_stack(tech, 2, widths=[1e-6] * 2,
+                                    load=load)
+        heavy = builders.nmos_stack(tech, 2, widths=[1e-6] * 2,
+                                    load=load * 1.5)
+        inputs = {"g1": StepSource(0, tech.vdd, 0),
+                  "g2": ConstantSource(tech.vdd)}
+        d_light = evaluator.evaluate(light, "out", "fall",
+                                     inputs).delay()
+        d_heavy = evaluator.evaluate(heavy, "out", "fall",
+                                     inputs).delay()
+        assert d_heavy > d_light
+
+    @settings(max_examples=10, deadline=None)
+    @given(scale=st.floats(1.2, 3.0))
+    def test_delay_improves_with_uniform_upsizing(self, tech, evaluator,
+                                                  scale):
+        inputs = {"g1": StepSource(0, tech.vdd, 0),
+                  "g2": ConstantSource(tech.vdd),
+                  "g3": ConstantSource(tech.vdd)}
+        base = builders.nmos_stack(tech, 3, widths=[1e-6] * 3,
+                                   load=30e-15)
+        wide = builders.nmos_stack(tech, 3, widths=[scale * 1e-6] * 3,
+                                   load=30e-15)
+        d_base = evaluator.evaluate(base, "out", "fall", inputs).delay()
+        d_wide = evaluator.evaluate(wide, "out", "fall", inputs).delay()
+        assert d_wide < d_base

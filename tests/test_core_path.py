@@ -1,0 +1,133 @@
+"""Tests for pull-path extraction."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import DeviceKind, builders
+from repro.core import extract_path
+from repro.spice import ConstantSource, StepSource
+
+
+class TestGatePaths:
+    def test_inverter_fall_path(self, tech, library):
+        inv = builders.inverter(tech)
+        path = extract_path(inv, "out", "fall",
+                            {"a": StepSource(0, tech.vdd, 0)}, library)
+        assert path.length == 1
+        assert path.devices[0].kind is DeviceKind.NMOS
+        assert path.node_names == ["out"]
+        assert path.node_caps[0] > 0
+
+    def test_inverter_rise_path(self, tech, library):
+        inv = builders.inverter(tech)
+        path = extract_path(inv, "out", "rise",
+                            {"a": StepSource(tech.vdd, 0, 0)}, library)
+        assert path.devices[0].kind is DeviceKind.PMOS
+        assert path.direction == "rise"
+
+    def test_nand_fall_path_is_full_stack(self, tech, library):
+        nd = builders.nand_gate(tech, 4)
+        inputs = {"a0": StepSource(0, tech.vdd, 0)}
+        inputs.update({f"a{i}": ConstantSource(tech.vdd)
+                       for i in range(1, 4)})
+        path = extract_path(nd, "out", "fall", inputs, library)
+        assert path.length == 4
+        assert [d.gate for d in path.devices] == ["a0", "a1", "a2", "a3"]
+        assert path.node_names[-1] == "out"
+
+    def test_no_path_when_inputs_block(self, tech, library):
+        nd = builders.nand_gate(tech, 2)
+        with pytest.raises(ValueError, match="no conducting"):
+            extract_path(nd, "out", "fall",
+                         {"a0": ConstantSource(0.0),
+                          "a1": ConstantSource(0.0)}, library)
+
+    def test_output_cap_includes_load_and_pmos_junctions(self, tech,
+                                                         library):
+        nd_small = builders.nand_gate(tech, 2, load=0.0)
+        nd_big = builders.nand_gate(tech, 2, load=20e-15)
+        inputs = {"a0": ConstantSource(tech.vdd),
+                  "a1": ConstantSource(tech.vdd)}
+        p_small = extract_path(nd_small, "out", "fall", inputs, library)
+        p_big = extract_path(nd_big, "out", "fall", inputs, library)
+        assert p_big.node_caps[-1] == pytest.approx(
+            p_small.node_caps[-1] + 20e-15, rel=1e-6)
+
+
+class TestStackPath:
+    def test_stack_ordering_rail_first(self, tech, library):
+        st = builders.nmos_stack(tech, 5, widths=[1e-6] * 5)
+        inputs = {f"g{k}": ConstantSource(tech.vdd) for k in range(1, 6)}
+        path = extract_path(st, "out", "fall", inputs, library)
+        assert [d.name for d in path.devices] == [
+            "M1", "M2", "M3", "M4", "M5"]
+        assert path.node_names == ["n1", "n2", "n3", "n4", "out"]
+
+    def test_frame_round_trip(self, tech, library):
+        st = builders.nmos_stack(tech, 2, widths=[1e-6] * 2)
+        inputs = {"g1": ConstantSource(tech.vdd),
+                  "g2": ConstantSource(tech.vdd)}
+        path = extract_path(st, "out", "fall", inputs, library)
+        assert path.from_frame(path.to_frame(1.2)) == pytest.approx(1.2)
+        rise = extract_path(builders.inverter(tech), "out", "rise",
+                            {"a": ConstantSource(0.0)}, library)
+        assert rise.to_frame(0.0) == pytest.approx(tech.vdd)
+        assert rise.from_frame(rise.to_frame(2.2)) == pytest.approx(2.2)
+
+
+class TestWireCollapse:
+    def test_decoder_path_has_pi_macros(self, tech, library):
+        dec = builders.decoder_tree(tech, levels=2)
+        inputs = {"phi": StepSource(0, tech.vdd, 0),
+                  "A0": ConstantSource(tech.vdd),
+                  "A0b": ConstantSource(0.0),
+                  "A1": ConstantSource(tech.vdd),
+                  "A1b": ConstantSource(0.0)}
+        path = extract_path(dec, "t11", "fall", inputs, library)
+        kinds = [d.kind for d in path.devices]
+        assert kinds.count(DeviceKind.NMOS) == 3  # enable + 2 levels
+        assert kinds.count(DeviceKind.WIRE) == 2  # one pi per level
+        for dev in path.devices:
+            if dev.kind is DeviceKind.WIRE:
+                assert dev.resistance > 0
+                assert dev.name.startswith("pi(")
+
+    def test_total_cap_conserved_after_collapse(self, tech, library):
+        # The sum of path node caps must include the full wire cap
+        # (pi end caps), not double count it.
+        from repro.devices.capacitance import wire_capacitance
+
+        dec = builders.decoder_tree(tech, levels=1,
+                                    unit_wire_length=50e-6)
+        inputs = {"phi": ConstantSource(tech.vdd),
+                  "A0": ConstantSource(tech.vdd),
+                  "A0b": ConstantSource(0.0)}
+        path = extract_path(dec, "t1", "fall", inputs, library)
+        wire_c = wire_capacitance(tech.wire, tech.wmin, 50e-6)
+        # Only one of the two wires (selected branch) is on the path,
+        # but the sibling wire half-cap also loads the shared node...
+        # here just check path cap exceeds the on-path wire cap.
+        assert float(np.sum(path.node_caps)) > wire_c
+
+    def test_coupling_lists_populated(self, tech, library):
+        nd = builders.nand_gate(tech, 2)
+        inputs = {"a0": ConstantSource(tech.vdd),
+                  "a1": ConstantSource(tech.vdd)}
+        path = extract_path(nd, "out", "fall", inputs, library)
+        # Output node couples to a1 (series NMOS) and both PMOS gates.
+        gates = {g for g, _ in path.gate_couplings[-1]}
+        assert "a0" in gates and "a1" in gates
+
+    def test_equivalent_caps_voltage_dependence(self, tech, library):
+        st = builders.nmos_stack(tech, 3, widths=[1e-6] * 3)
+        inputs = {f"g{k}": ConstantSource(tech.vdd) for k in range(1, 4)}
+        path = extract_path(st, "out", "fall", inputs, library)
+        high = path.equivalent_caps(np.full(3, 3.3), np.full(3, 2.2))
+        low = path.equivalent_caps(np.full(3, 1.0), np.full(3, 0.0))
+        assert np.all(low > high)  # junction caps grow at low bias
+
+    def test_direction_validation(self, tech, library):
+        inv = builders.inverter(tech)
+        with pytest.raises(ValueError):
+            extract_path(inv, "out", "sideways",
+                         {"a": ConstantSource(0.0)}, library)

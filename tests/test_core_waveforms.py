@@ -1,0 +1,164 @@
+"""Tests for piecewise-quadratic waveform objects."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PiecewiseQuadraticWaveform, QuadraticPiece
+
+
+class TestQuadraticPiece:
+    def test_evaluation(self):
+        p = QuadraticPiece(t0=0.0, t1=2.0, v0=1.0, slope=2.0, curve=0.5)
+        assert p.value(0.0) == 1.0
+        assert p.value(1.0) == pytest.approx(1.0 + 2.0 + 0.5)
+        assert p.derivative(1.0) == pytest.approx(2.0 + 1.0)
+        assert p.end_value() == pytest.approx(1.0 + 4.0 + 2.0)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            QuadraticPiece(t0=1.0, t1=1.0, v0=0.0, slope=0.0, curve=0.0)
+
+    def test_linear_crossing(self):
+        p = QuadraticPiece(t0=0.0, t1=10.0, v0=0.0, slope=1.0, curve=0.0)
+        assert p.crossing(5.0) == pytest.approx(5.0)
+        assert p.crossing(20.0) is None
+
+    def test_quadratic_crossing_earliest_root(self):
+        # v(t) = t^2 - 4t + 3 = (t-1)(t-3): level 0 hit first at t=1.
+        p = QuadraticPiece(t0=0.0, t1=10.0, v0=3.0, slope=-4.0, curve=1.0)
+        assert p.crossing(0.0) == pytest.approx(1.0)
+
+    def test_flat_piece_no_crossing(self):
+        p = QuadraticPiece(t0=0.0, t1=1.0, v0=2.0, slope=0.0, curve=0.0)
+        assert p.crossing(1.0) is None
+
+
+class TestWaveform:
+    @pytest.fixture
+    def falling(self):
+        # 3.3 -> 1.3 -> 0.3 over two pieces.
+        return PiecewiseQuadraticWaveform([
+            QuadraticPiece(0.0, 1.0, 3.3, -2.0, 0.0),
+            QuadraticPiece(1.0, 2.0, 1.3, -1.0, 0.0),
+        ])
+
+    def test_holds_outside_span(self, falling):
+        assert falling.value(-1.0) == 3.3
+        assert falling.value(10.0) == pytest.approx(0.3)
+        assert falling.derivative(-1.0) == 0.0
+
+    def test_value_inside(self, falling):
+        assert falling.value(0.5) == pytest.approx(2.3)
+        assert falling.value(1.5) == pytest.approx(0.8)
+
+    def test_crossing_spans_pieces(self, falling):
+        assert falling.crossing_time(2.0) == pytest.approx(0.65)
+        assert falling.crossing_time(1.0) == pytest.approx(1.3)
+        assert falling.crossing_time(0.1) is None
+
+    def test_breakpoints(self, falling):
+        np.testing.assert_allclose(falling.breakpoints, [0.0, 1.0, 2.0])
+
+    def test_sampling(self, falling):
+        samples = falling.sample(np.array([0.0, 0.5, 1.0, 2.0]))
+        np.testing.assert_allclose(samples, [3.3, 2.3, 1.3, 0.3],
+                                   atol=1e-12)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PiecewiseQuadraticWaveform([])
+
+    def test_rejects_overlapping_pieces(self):
+        with pytest.raises(ValueError):
+            PiecewiseQuadraticWaveform([
+                QuadraticPiece(0.0, 2.0, 1.0, 0.0, 0.0),
+                QuadraticPiece(1.0, 3.0, 1.0, 0.0, 0.0),
+            ])
+
+    @settings(max_examples=50, deadline=None)
+    @given(v0=st.floats(0.1, 3.3), slope=st.floats(-5.0, -0.1),
+           curve=st.floats(-1.0, 1.0))
+    def test_crossing_consistency_property(self, v0, slope, curve):
+        # Whenever a crossing is reported, evaluating there returns the
+        # level (round trip).
+        wave = PiecewiseQuadraticWaveform([
+            QuadraticPiece(0.0, 1.0, v0, slope, curve)])
+        level = v0 / 2.0
+        t = wave.crossing_time(level)
+        if t is not None:
+            assert wave.value(t) == pytest.approx(level, abs=1e-9)
+
+    def test_continuity_of_qwm_style_chain(self):
+        # Pieces built the way the scheduler records them chain
+        # continuously when linked through end values.
+        pieces = []
+        v, t = 3.3, 0.0
+        for dt, slope, curve in [(0.3, -4.0, 1.0), (0.5, -2.0, 0.5),
+                                 (0.7, -1.0, 0.2)]:
+            pieces.append(QuadraticPiece(t, t + dt, v, slope, curve))
+            v = pieces[-1].end_value()
+            t += dt
+        wave = PiecewiseQuadraticWaveform(pieces)
+        for boundary in wave.breakpoints[1:-1]:
+            left = wave.value(boundary - 1e-12)
+            right = wave.value(boundary + 1e-12)
+            assert left == pytest.approx(right, abs=1e-6)
+
+
+class TestWaveformAlgebra:
+    def _ramp_wave(self):
+        # 3.3 -> 0 linearly over [0, 1].
+        return PiecewiseQuadraticWaveform([
+            QuadraticPiece(0.0, 1.0, 3.3, -3.3, 0.0)])
+
+    def test_integral_of_linear_fall(self):
+        wave = self._ramp_wave()
+        assert wave.integral(0.0, 1.0) == pytest.approx(3.3 / 2.0)
+
+    def test_integral_includes_flat_extensions(self):
+        wave = self._ramp_wave()
+        # 1s of leading flat 3.3 plus the ramp plus 1s trailing flat 0.
+        assert wave.integral(-1.0, 2.0) == pytest.approx(3.3 + 1.65)
+
+    def test_integral_of_quadratic(self):
+        wave = PiecewiseQuadraticWaveform([
+            QuadraticPiece(0.0, 2.0, 0.0, 0.0, 1.0)])  # v = t^2
+        assert wave.integral(0.0, 2.0) == pytest.approx(8.0 / 3.0)
+
+    def test_integral_validates_order(self):
+        with pytest.raises(ValueError):
+            self._ramp_wave().integral(1.0, 0.0)
+
+    def test_average(self):
+        assert self._ramp_wave().average(0.0, 1.0) == pytest.approx(1.65)
+
+    def test_shifted_preserves_shape(self):
+        wave = self._ramp_wave()
+        moved = wave.shifted(5.0)
+        assert moved.value(5.5) == pytest.approx(wave.value(0.5))
+        assert moved.t_start == pytest.approx(5.0)
+
+    def test_tangent_ramp_of_linear_fall(self):
+        wave = self._ramp_wave()
+        fit = wave.tangent_ramp(3.3)
+        assert fit is not None
+        t_start, t_rise, v0, v1 = fit
+        assert v0 == pytest.approx(3.3)
+        assert v1 == 0.0
+        assert t_start == pytest.approx(0.0, abs=1e-9)
+        assert t_rise == pytest.approx(1.0, rel=1e-6)
+
+    def test_tangent_ramp_rising(self):
+        wave = PiecewiseQuadraticWaveform([
+            QuadraticPiece(0.0, 2.0, 0.0, 1.65, 0.0)])  # 0 -> 3.3
+        fit = wave.tangent_ramp(3.3)
+        t_start, t_rise, v0, v1 = fit
+        assert (v0, v1) == (0.0, 3.3)
+        assert t_rise == pytest.approx(2.0, rel=1e-6)
+
+    def test_tangent_ramp_none_for_static(self):
+        wave = PiecewiseQuadraticWaveform([
+            QuadraticPiece(0.0, 1.0, 3.3, 0.0, 0.0)])
+        assert wave.tangent_ramp(3.3) is None

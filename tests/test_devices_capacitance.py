@@ -1,0 +1,124 @@
+"""Tests for the parasitic capacitance models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import CMOSP35
+from repro.devices.capacitance import (
+    equivalent_junction_cap,
+    gate_capacitance,
+    junction_capacitance,
+    mosfet_capacitances,
+    stage_node_capacitance,
+    wire_capacitance,
+    wire_resistance,
+)
+
+TECH = CMOSP35
+NP = TECH.nmos
+
+
+class TestJunctionCap:
+    def test_zero_bias_equals_sum_of_terms(self):
+        w = 1e-6
+        cap = junction_capacitance(NP, w, 0.0)
+        area = w * NP.ldiff
+        perim = 2.0 * (w + NP.ldiff)
+        assert cap == pytest.approx(NP.cj * area + NP.cjsw * perim)
+
+    def test_reverse_bias_shrinks_cap(self):
+        w = 1e-6
+        assert junction_capacitance(NP, w, 3.3) < junction_capacitance(
+            NP, w, 0.0)
+
+    def test_monotone_in_bias(self):
+        w = 2e-6
+        caps = [junction_capacitance(NP, w, v) for v in
+                (0.0, 0.5, 1.0, 2.0, 3.3)]
+        assert all(b < a for a, b in zip(caps, caps[1:]))
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            junction_capacitance(NP, 0.0, 1.0)
+
+    def test_equivalent_cap_between_extremes(self):
+        w = 1e-6
+        ceq = equivalent_junction_cap(NP, w, 0.0, 3.3)
+        c_lo = junction_capacitance(NP, w, 3.3)
+        c_hi = junction_capacitance(NP, w, 0.0)
+        assert c_lo < ceq < c_hi
+
+    def test_equivalent_cap_degenerate_span(self):
+        w = 1e-6
+        ceq = equivalent_junction_cap(NP, w, 1.0, 1.0)
+        assert ceq == pytest.approx(junction_capacitance(NP, w, 1.0))
+
+    @settings(max_examples=40, deadline=None)
+    @given(v0=st.floats(0.0, 3.3), v1=st.floats(0.0, 3.3))
+    def test_equivalent_cap_is_charge_consistent(self, v0, v1):
+        # Ceq * (v1 - v0) must equal the charge integral, so swapping
+        # the endpoints leaves Ceq unchanged.
+        w = 1e-6
+        a = equivalent_junction_cap(NP, w, v0, v1)
+        b = equivalent_junction_cap(NP, w, v1, v0)
+        assert a == pytest.approx(b, rel=1e-9)
+
+
+class TestGateCap:
+    def test_scales_with_area(self):
+        c1 = gate_capacitance(NP, 1e-6, TECH.lmin)
+        c2 = gate_capacitance(NP, 2e-6, TECH.lmin)
+        assert c2 > c1
+
+    def test_meyer_split_sums_preserved(self):
+        w, l = 1e-6, TECH.lmin
+        cox_total = NP.cox * w * l
+        for region in ("cutoff", "triode", "saturation"):
+            caps = mosfet_capacitances(NP, w, l, region=region)
+            intrinsic = caps.cgs + caps.cgd + caps.cgb - 2 * NP.cov * w
+            # Meyer model conserves at most the oxide cap.
+            assert intrinsic <= cox_total + 1e-20
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(ValueError):
+            mosfet_capacitances(NP, 1e-6, TECH.lmin, region="weird")
+
+    def test_gate_total(self):
+        caps = mosfet_capacitances(NP, 1e-6, TECH.lmin)
+        assert caps.gate_total == pytest.approx(
+            caps.cgs + caps.cgd + caps.cgb)
+
+
+class TestWire:
+    def test_resistance_formula(self):
+        r = wire_resistance(TECH.wire, 1e-6, 100e-6)
+        assert r == pytest.approx(TECH.wire.sheet_resistance * 100.0)
+
+    def test_capacitance_grows_with_length(self):
+        c1 = wire_capacitance(TECH.wire, 1e-6, 10e-6)
+        c2 = wire_capacitance(TECH.wire, 1e-6, 20e-6)
+        assert c2 > c1 * 1.9
+
+    def test_zero_length_wire(self):
+        assert wire_capacitance(TECH.wire, 1e-6, 0.0) == 0.0
+        assert wire_resistance(TECH.wire, 1e-6, 0.0) == 0.0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            wire_resistance(TECH.wire, 0.0, 1e-6)
+        with pytest.raises(ValueError):
+            wire_capacitance(TECH.wire, 1e-6, -1.0)
+
+
+class TestStageNodeCap:
+    def test_sums_contributions(self):
+        total = stage_node_capacitance(
+            TECH,
+            nmos_widths=(1e-6,),
+            pmos_widths=(2e-6,),
+            gate_loads=((1e-6, TECH.lmin, "n"),),
+            extra=1e-15)
+        assert total > 1e-15
+        only_extra = stage_node_capacitance(TECH, extra=1e-15)
+        assert only_extra == pytest.approx(1e-15)

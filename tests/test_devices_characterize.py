@@ -1,0 +1,108 @@
+"""Tests for device characterization (sweep + curve fitting)."""
+
+import numpy as np
+import pytest
+
+from repro.devices import CMOSP35, characterize_device, nmos_model, pmos_model
+from repro.devices.characterize import fit_iv_curve
+
+TECH = CMOSP35
+
+
+class TestFitIVCurve:
+    def test_fits_exact_quadratic_and_linear(self):
+        vdsat = 1.0
+        vds = np.linspace(0.0, 3.3, 40)
+
+        def true_current(v):
+            if v <= vdsat:
+                return -2.0 * v * v + 5.0 * v + 0.1
+            return 0.5 * v + 2.6  # continuous-ish linear tail
+
+        ids = [true_current(v) for v in vds]
+        fit = fit_iv_curve(vds, ids, vth=0.5, vdsat=vdsat)
+        assert fit.t2 == pytest.approx(-2.0, abs=1e-9)
+        assert fit.t1 == pytest.approx(5.0, abs=1e-9)
+        assert fit.t0 == pytest.approx(0.1, abs=1e-9)
+        assert fit.s1 == pytest.approx(0.5, abs=1e-9)
+        assert fit.s0 == pytest.approx(2.6, abs=1e-9)
+
+    def test_stores_seven_parameters(self):
+        fit = fit_iv_curve([0.0, 1.0, 2.0], [0.0, 1.0, 1.5],
+                           vth=0.6, vdsat=1.2)
+        assert fit.vth == 0.6
+        assert fit.vdsat == 1.2
+        # slope/current evaluable on both sides
+        assert fit.current(0.5) is not None
+        assert fit.slope(2.0) == fit.s1
+
+    def test_degenerate_off_device(self):
+        fit = fit_iv_curve([0.0, 1.0, 2.0, 3.0], [0.0, 0.0, 0.0, 0.0],
+                           vth=0.55, vdsat=0.0)
+        assert fit.current(1.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_mismatched_samples(self):
+        with pytest.raises(ValueError):
+            fit_iv_curve([0.0, 1.0], [0.0], vth=0.5, vdsat=0.5)
+
+    def test_no_saturation_extrapolates_triode_tangent(self):
+        # vdsat beyond the sweep: linear fit must continue the quadratic.
+        vds = np.linspace(0.0, 1.0, 20)
+        ids = 3.0 * vds - 0.5 * vds ** 2
+        fit = fit_iv_curve(vds, ids, vth=0.5, vdsat=5.0)
+        v_end = 1.0
+        tangent_slope = 3.0 - 1.0 * v_end
+        assert fit.s1 == pytest.approx(tangent_slope, rel=1e-6)
+
+
+class TestCharacterizationGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return characterize_device(nmos_model(TECH), TECH, grid_step=0.3,
+                                   vds_step=0.1)
+
+    def test_grid_axes_cover_supply(self, grid):
+        assert grid.vs_values[0] == 0.0
+        assert grid.vs_values[-1] == pytest.approx(TECH.vdd, abs=0.31)
+        assert grid.vg_values.shape == grid.vs_values.shape
+
+    def test_seven_parameters_per_point(self, grid):
+        n_points = grid.vs_values.size * grid.vg_values.size
+        assert grid.n_parameters == 7 * n_points
+
+    def test_threshold_plane_tracks_body_effect(self, grid):
+        # vth grows along the vs axis.
+        col = grid.vth_plane[:, -1]
+        assert col[-1] > col[0]
+
+    def test_fit_matches_golden_on_grid(self, grid):
+        model = nmos_model(TECH)
+        ion = model.ids(grid.w_ref, grid.l_ref, TECH.vdd, TECH.vdd, 0.0)
+        # Probe several grid points at several vds values.
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            i = rng.integers(0, grid.vs_values.size)
+            j = rng.integers(0, grid.vg_values.size)
+            vs = float(grid.vs_values[i])
+            vg = float(grid.vg_values[j])
+            vds = float(rng.uniform(0.0, max(TECH.vdd - vs, 0.1)))
+            fitted = grid.fits[i][j].current(vds)
+            golden = model.ids(grid.w_ref, grid.l_ref, vg, vs + vds, vs)
+            assert fitted == pytest.approx(golden, abs=0.02 * ion)
+
+    def test_pmos_grid_is_positive_in_conduction_frame(self):
+        grid = characterize_device(pmos_model(TECH), TECH, grid_step=0.8,
+                                   vds_step=0.2)
+        # Fully-on frame point: vs=0, vg=vdd-ish -> strong current.
+        fit = grid.fits[0][-1]
+        assert fit.current(2.0) > 1e-5
+
+    def test_shape_mismatch_rejected(self):
+        from repro.devices.characterize import CharacterizationGrid
+
+        with pytest.raises(ValueError):
+            CharacterizationGrid(
+                polarity="n", w_ref=1e-6, l_ref=TECH.lmin, vdd=3.3,
+                vs_values=np.array([0.0, 1.0]),
+                vg_values=np.array([0.0, 1.0]),
+                fits=[[None]])

@@ -1,0 +1,140 @@
+"""Tests for process-corner derivation."""
+
+import pytest
+
+from repro.circuit import builders
+from repro.core import WaveformEvaluator
+from repro.devices import CMOSP35, all_corners, corner, corner_spread, \
+    nmos_model, pmos_model
+from repro.devices.table_model import TableModelLibrary
+from repro.spice import StepSource
+
+
+class TestCornerDerivation:
+    def test_tt_is_identity(self, tech):
+        assert corner(tech, "tt") is tech
+
+    def test_ff_strengthens_both(self, tech):
+        ff = corner(tech, "ff")
+        assert ff.nmos.kp > tech.nmos.kp
+        assert ff.nmos.vth0 < tech.nmos.vth0
+        assert ff.pmos.kp > tech.pmos.kp
+        assert ff.pmos.vth0 < tech.pmos.vth0
+        assert ff.name.endswith("_ff")
+
+    def test_ss_weakens_both(self, tech):
+        ss = corner(tech, "ss")
+        assert ss.nmos.kp < tech.nmos.kp
+        assert ss.nmos.vth0 > tech.nmos.vth0
+
+    def test_skewed_corners(self, tech):
+        fs = corner(tech, "fs")
+        assert fs.nmos.kp > tech.nmos.kp
+        assert fs.pmos.kp < tech.pmos.kp
+        sf = corner(tech, "sf")
+        assert sf.nmos.kp < tech.nmos.kp
+        assert sf.pmos.kp > tech.pmos.kp
+
+    def test_unknown_corner_rejected(self, tech):
+        with pytest.raises(ValueError):
+            corner(tech, "xy")
+
+    def test_all_corners(self, tech):
+        corners = all_corners(tech)
+        assert set(corners) == {"tt", "ff", "ss", "fs", "sf"}
+
+    def test_geometry_untouched(self, tech):
+        ff = corner(tech, "ff")
+        assert ff.lmin == tech.lmin
+        assert ff.vdd == tech.vdd
+
+
+class TestCornerCurrents:
+    def test_on_current_ordering(self, tech):
+        w, l = 1e-6, tech.lmin
+        currents = {}
+        for name in ("ss", "tt", "ff"):
+            model = nmos_model(corner(tech, name))
+            currents[name] = model.ids(w, l, tech.vdd, tech.vdd, 0.0)
+        assert currents["ss"] < currents["tt"] < currents["ff"]
+
+    def test_pmos_ordering(self, tech):
+        w, l = 1e-6, tech.lmin
+        currents = {}
+        for name in ("ss", "tt", "ff"):
+            model = pmos_model(corner(tech, name))
+            currents[name] = model.ids(w, l, 0.0, tech.vdd, 0.0)
+        assert currents["ss"] < currents["tt"] < currents["ff"]
+
+
+class TestCornerTiming:
+    def test_delay_ordering_through_qwm(self, tech):
+        delays = {}
+        for name in ("ss", "tt", "ff"):
+            corner_tech = corner(tech, name)
+            library = TableModelLibrary(corner_tech, grid_step=0.3)
+            evaluator = WaveformEvaluator(corner_tech, library=library)
+            inv = builders.inverter(corner_tech)
+            sol = evaluator.evaluate(
+                inv, "out", "fall",
+                {"a": StepSource(0.0, corner_tech.vdd, 0.0)})
+            delays[name] = sol.delay()
+        assert delays["ff"] < delays["tt"] < delays["ss"]
+        slowest, fastest, spread = corner_spread(delays)
+        assert slowest == "ss"
+        assert fastest == "ff"
+        assert spread > 0.1  # corners move delay by >10%
+
+    def test_spread_requires_data(self):
+        with pytest.raises(ValueError):
+            corner_spread({})
+
+
+class TestTemperature:
+    def test_nominal_identity(self, tech):
+        from repro.devices import at_temperature
+
+        assert at_temperature(tech, tech.temperature) is tech
+
+    def test_hot_weakens_drive(self, tech):
+        from repro.devices import at_temperature
+
+        hot = at_temperature(tech, 398.0)
+        assert hot.nmos.kp < tech.nmos.kp
+        assert hot.nmos.vth0 < tech.nmos.vth0  # threshold drops when hot
+        assert hot.temperature == 398.0
+
+    def test_cold_strengthens_drive(self, tech):
+        from repro.devices import at_temperature
+
+        cold = at_temperature(tech, 233.0)
+        assert cold.nmos.kp > tech.nmos.kp
+
+    def test_invalid_temperature(self, tech):
+        from repro.devices import at_temperature
+
+        with pytest.raises(ValueError):
+            at_temperature(tech, -10.0)
+
+    def test_hot_silicon_is_slow(self, tech):
+        from repro.devices import at_temperature
+
+        delays = {}
+        for temp in (233.0, 300.0, 398.0):
+            t = at_temperature(tech, temp)
+            lib = TableModelLibrary(t, grid_step=0.3)
+            ev = WaveformEvaluator(t, library=lib)
+            inv = builders.inverter(t)
+            sol = ev.evaluate(inv, "out", "fall",
+                              {"a": StepSource(0.0, t.vdd, 0.0)})
+            delays[temp] = sol.delay()
+        assert delays[233.0] < delays[300.0] < delays[398.0]
+
+    def test_pvt_composition(self, tech):
+        from repro.devices import pvt
+
+        worst = pvt(tech, "ss", 398.0)
+        assert worst.nmos.kp < tech.nmos.kp * 0.8
+        assert "ss" in worst.name and "398" in worst.name
+        nominal = pvt(tech)
+        assert nominal is tech

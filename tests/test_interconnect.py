@@ -1,0 +1,214 @@
+"""Tests for the interconnect substrate: RC trees, Elmore, AWE, π."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect import (
+    RCTree,
+    admittance_moments,
+    awe_from_moments,
+    elmore_delays,
+    pi_of_tree,
+    reduce_to_pi,
+    uniform_line_pi,
+    voltage_moments,
+    wire_chain_pi,
+)
+
+
+class TestRCTree:
+    def test_chain_construction(self):
+        tree = RCTree.from_chain([100.0, 200.0], [1e-15, 2e-15])
+        assert len(tree) == 3
+        assert tree.parent("n1") == "n0"
+        assert tree.resistance("n1") == 200.0
+        assert tree.total_cap == pytest.approx(3e-15)
+
+    def test_duplicate_node_rejected(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            tree.add_node("a", "in", 1.0, 1.0)
+
+    def test_unknown_parent_rejected(self):
+        tree = RCTree("in")
+        with pytest.raises(ValueError):
+            tree.add_node("a", "ghost", 1.0, 1.0)
+
+    def test_add_cap(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 1.0, 1e-15)
+        tree.add_cap("a", 1e-15)
+        assert tree.cap("a") == pytest.approx(2e-15)
+
+    def test_downstream_cap(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 1.0, 1e-15)
+        tree.add_node("b", "a", 1.0, 2e-15)
+        tree.add_node("c", "a", 1.0, 3e-15)
+        down = tree.downstream_cap()
+        assert down["a"] == pytest.approx(6e-15)
+        assert down["b"] == pytest.approx(2e-15)
+
+    def test_mismatched_chain_rejected(self):
+        with pytest.raises(ValueError):
+            RCTree.from_chain([1.0], [1e-15, 2e-15])
+
+
+class TestElmore:
+    def test_single_rc(self):
+        tree = RCTree.from_chain([1000.0], [1e-12])
+        assert elmore_delays(tree)["n0"] == pytest.approx(1e-9)
+
+    def test_two_segment_ladder(self):
+        tree = RCTree.from_chain([100.0, 100.0], [1e-15, 1e-15])
+        d = elmore_delays(tree)
+        # T(n0) = 100*(C0+C1); T(n1) = T(n0) + 100*C1.
+        assert d["n0"] == pytest.approx(100 * 2e-15)
+        assert d["n1"] == pytest.approx(100 * 2e-15 + 100 * 1e-15)
+
+    def test_branching_tree_shares_upstream(self):
+        tree = RCTree("in")
+        tree.add_node("a", "in", 100.0, 1e-15)
+        tree.add_node("b", "a", 50.0, 1e-15)
+        tree.add_node("c", "a", 70.0, 2e-15)
+        d = elmore_delays(tree)
+        assert d["b"] == pytest.approx(100 * 4e-15 + 50 * 1e-15)
+        assert d["c"] == pytest.approx(100 * 4e-15 + 70 * 2e-15)
+
+    def test_uniform_line_limit(self):
+        # Distributed limit: far-end Elmore of a uniform line is RC/2.
+        n = 200
+        tree = RCTree.from_chain([1000.0 / n] * n, [1e-12 / n] * n)
+        far = elmore_delays(tree)[f"n{n - 1}"]
+        assert far == pytest.approx(0.5e-9, rel=0.02)
+
+    def test_moments_order_validation(self):
+        tree = RCTree.from_chain([1.0], [1.0])
+        with pytest.raises(ValueError):
+            voltage_moments(tree, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 999), n=st.integers(1, 12))
+    def test_first_admittance_moment_is_total_cap(self, seed, n):
+        rng = np.random.default_rng(seed)
+        tree = RCTree.from_chain(rng.uniform(10, 1000, n),
+                                 rng.uniform(0.1e-15, 5e-15, n))
+        moments = admittance_moments(tree, 3)
+        assert moments[0] == pytest.approx(tree.total_cap, rel=1e-12)
+        assert moments[1] < 0  # A2 always negative for RC
+        assert moments[2] > 0  # A3 always positive
+
+
+class TestAWE:
+    def test_recovers_single_pole(self):
+        # H(s) = 1/(1 - s/p), p = -1e9: m_q = p^-q.
+        p = -1e9
+        moments = [p ** -q for q in range(4)]
+        approx = awe_from_moments(moments, order=1)
+        assert approx.poles[0] == pytest.approx(p, rel=1e-9)
+        assert np.real(approx.residues[0]) == pytest.approx(1.0)
+
+    def test_recovers_two_poles(self):
+        p1, p2 = -1e9, -5e9
+        k1, k2 = 0.7, 0.3
+        moments = [k1 * p1 ** -q + k2 * p2 ** -q for q in range(6)]
+        approx = awe_from_moments(moments, order=2)
+        got = sorted(np.real(approx.poles))
+        assert got[0] == pytest.approx(p2, rel=1e-6)
+        assert got[1] == pytest.approx(p1, rel=1e-6)
+
+    def test_step_response_limits(self):
+        p = -1e9
+        moments = [p ** -q for q in range(4)]
+        approx = awe_from_moments(moments, order=1)
+        t = np.array([0.0, 1e-7])
+        resp = approx.step_response(t, v_final=3.3)
+        assert resp[0] == pytest.approx(0.0, abs=1e-9)
+        assert resp[1] == pytest.approx(3.3, rel=1e-6)
+
+    def test_moment_consistency(self):
+        p1, p2 = -2e9, -9e9
+        moments = [0.5 * p1 ** -q + 0.5 * p2 ** -q for q in range(6)]
+        approx = awe_from_moments(moments, order=2)
+        for q in range(4):
+            assert approx.transfer_moment(q) == pytest.approx(
+                moments[q], rel=1e-6)
+
+    def test_order_reduction_on_degenerate_input(self):
+        # Single-pole data requested at order 2: Hankel is singular; AWE
+        # must fall back to one stable pole.
+        p = -1e9
+        moments = [p ** -q for q in range(6)]
+        approx = awe_from_moments(moments, order=2)
+        assert approx.order == 1
+
+    def test_dominant_time_constant(self):
+        p1, p2 = -1e9, -8e9
+        moments = [0.6 * p1 ** -q + 0.4 * p2 ** -q for q in range(6)]
+        approx = awe_from_moments(moments, order=2)
+        assert approx.dominant_time_constant == pytest.approx(1e-9,
+                                                              rel=1e-6)
+
+    def test_insufficient_moments_rejected(self):
+        from repro.interconnect.awe import transfer_moments_to_poles
+
+        with pytest.raises(ValueError):
+            transfer_moments_to_poles([1.0, -1.0], order=2)
+
+
+class TestPiModel:
+    def test_uniform_line_closed_form(self):
+        pi = uniform_line_pi(1000.0, 1e-12)
+        assert pi.c_near == pytest.approx(1e-12 / 6.0, rel=1e-9)
+        assert pi.c_far == pytest.approx(5e-12 / 6.0, rel=1e-9)
+        assert pi.r == pytest.approx(12.0 * 1000.0 / 25.0, rel=1e-9)
+
+    def test_fine_ladder_approaches_closed_form(self):
+        n = 100
+        pi = wire_chain_pi([1000.0 / n] * n, [1e-12 / n] * n)
+        closed = uniform_line_pi(1000.0, 1e-12)
+        assert pi.r == pytest.approx(closed.r, rel=0.02)
+        assert pi.c_far == pytest.approx(closed.c_far, rel=0.02)
+
+    def test_pi_preserves_three_moments(self):
+        tree = RCTree.from_chain([100.0, 300.0, 50.0],
+                                 [1e-15, 3e-15, 0.5e-15])
+        moments = admittance_moments(tree, 3)
+        pi = pi_of_tree(tree)
+        got = pi.admittance_moments()
+        for a, b in zip(moments, got):
+            assert b == pytest.approx(a, rel=1e-9)
+
+    def test_total_cap_preserved(self):
+        tree = RCTree.from_chain([10.0, 10.0], [1e-15, 1e-15])
+        pi = pi_of_tree(tree)
+        assert pi.total_cap == pytest.approx(tree.total_cap, rel=1e-12)
+
+    def test_pure_cap_degenerates(self):
+        pi = reduce_to_pi([1e-12, 0.0, 0.0])
+        assert pi.r == 0.0
+        assert pi.c_near == pytest.approx(1e-12)
+
+    def test_invalid_moments_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_to_pi([-1.0, 0.0, 0.0])
+        with pytest.raises(ValueError):
+            reduce_to_pi([1.0, 0.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 999), n=st.integers(1, 10))
+    def test_pi_moment_match_property(self, seed, n):
+        rng = np.random.default_rng(seed)
+        rs = rng.uniform(1.0, 500.0, n)
+        cs = rng.uniform(0.1e-15, 10e-15, n)
+        tree = RCTree.from_chain(rs, cs)
+        pi = wire_chain_pi(rs, cs)
+        if pi.r == 0.0:
+            return
+        moments = admittance_moments(tree, 3)
+        got = pi.admittance_moments()
+        for a, b in zip(moments, got):
+            assert b == pytest.approx(a, rel=1e-6)

@@ -1,0 +1,91 @@
+"""Tests for crosstalk bounds and glitch estimation."""
+
+import pytest
+
+from repro.circuit import builders
+from repro.interconnect import (
+    glitch_peak,
+    miller_decoupled_cap,
+    noise_immunity_ok,
+    victim_delay_bounds,
+)
+from repro.spice import ConstantSource, StepSource
+
+
+class TestMillerDecoupling:
+    def test_factors(self):
+        assert miller_decoupled_cap(1e-15, 0.0) == 0.0
+        assert miller_decoupled_cap(1e-15, 1.0) == pytest.approx(1e-15)
+        assert miller_decoupled_cap(1e-15, 2.0) == pytest.approx(2e-15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            miller_decoupled_cap(-1e-15, 1.0)
+        with pytest.raises(ValueError):
+            miller_decoupled_cap(1e-15, 5.0)
+
+
+class TestDelayBounds:
+    def test_bounds_ordered_and_meaningful(self, tech, evaluator):
+        st = builders.nmos_stack(tech, 3, widths=[1e-6] * 3,
+                                 load=10e-15)
+        inputs = {"g1": StepSource(0, tech.vdd, 0),
+                  "g2": ConstantSource(tech.vdd),
+                  "g3": ConstantSource(tech.vdd)}
+        bounds = victim_delay_bounds(
+            evaluator, st, "out", "fall", inputs,
+            victim_node="out", coupling_cap=8e-15)
+        assert bounds.best < bounds.nominal < bounds.worst
+        assert bounds.delta > 0
+        assert bounds.window > bounds.delta
+        # 8 fF of coupling on a ~15 fF net moves the delay noticeably.
+        assert bounds.delta / bounds.nominal > 0.05
+
+    def test_zero_coupling_collapses_bounds(self, tech, evaluator):
+        st = builders.nmos_stack(tech, 2, widths=[1e-6] * 2,
+                                 load=10e-15)
+        inputs = {"g1": StepSource(0, tech.vdd, 0),
+                  "g2": ConstantSource(tech.vdd)}
+        bounds = victim_delay_bounds(
+            evaluator, st, "out", "fall", inputs,
+            victim_node="out", coupling_cap=0.0)
+        assert bounds.best == pytest.approx(bounds.worst, rel=1e-9)
+
+    def test_original_stage_untouched(self, tech, evaluator):
+        st = builders.nmos_stack(tech, 2, widths=[1e-6] * 2,
+                                 load=10e-15)
+        inputs = {"g1": StepSource(0, tech.vdd, 0),
+                  "g2": ConstantSource(tech.vdd)}
+        before = st.node("out").load_cap
+        victim_delay_bounds(evaluator, st, "out", "fall", inputs,
+                            victim_node="out", coupling_cap=5e-15)
+        assert st.node("out").load_cap == before
+
+
+class TestGlitch:
+    def test_fast_aggressor_reaches_charge_sharing_limit(self):
+        peak = glitch_peak(coupling_cap=2e-15, victim_cap=8e-15,
+                           aggressor_slew=1e-15,
+                           victim_resistance=5e3, vdd=3.3)
+        assert peak == pytest.approx(3.3 * 0.2, rel=0.05)
+
+    def test_slow_aggressor_attenuates(self):
+        fast = glitch_peak(2e-15, 8e-15, 1e-12, 5e3, 3.3)
+        slow = glitch_peak(2e-15, 8e-15, 500e-12, 5e3, 3.3)
+        assert slow < 0.3 * fast
+
+    def test_zero_coupling_no_glitch(self):
+        assert glitch_peak(0.0, 8e-15, 1e-12, 5e3, 3.3) == 0.0
+
+    def test_monotone_in_coupling(self):
+        peaks = [glitch_peak(c, 8e-15, 20e-12, 5e3, 3.3)
+                 for c in (0.5e-15, 1e-15, 2e-15, 4e-15)]
+        assert peaks == sorted(peaks)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            glitch_peak(-1.0, 1e-15, 1e-12, 1e3, 3.3)
+
+    def test_noise_immunity_check(self):
+        assert noise_immunity_ok(0.3, 3.3)
+        assert not noise_immunity_ok(2.0, 3.3)

@@ -1,0 +1,166 @@
+"""Tests for netlist parsing and waveform I/O."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import extract_stages
+from repro.circuit.netlist import GND_NODE, VDD_NODE
+from repro.io import (
+    NetlistSyntaxError,
+    ascii_plot,
+    load_csv_result,
+    parse_spice_netlist,
+    save_csv_result,
+    write_spice_netlist,
+)
+from repro.io.spice_netlist import parse_value
+from repro.spice import TransientResult
+
+INVERTER_DECK = """
+* simple inverter
+M1 out in VDD VDD pmos W=2u L=0.35u
+M2 out in 0   0   nmos W=1u L=0.35u
+Cout out 0 5f
+.input in
+.output out
+.end
+"""
+
+
+class TestParseValue:
+    @pytest.mark.parametrize("token,expected", [
+        ("1.5", 1.5), ("2u", 2e-6), ("0.35U", 0.35e-6), ("5f", 5e-15),
+        ("10p", 10e-12), ("3n", 3e-9), ("1k", 1e3), ("2MEG", 2e6),
+        ("1e-6", 1e-6), ("-4m", -4e-3),
+    ])
+    def test_suffixes(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_value("abc")
+
+
+class TestParser:
+    def test_inverter_deck(self, tech):
+        net = parse_spice_netlist(INVERTER_DECK, tech)
+        assert len(net.transistors) == 2
+        pmos = next(t for t in net.transistors if t.polarity == "p")
+        # M-card order is drain gate source bulk; structurally the
+        # terminals may land either way (engines orient dynamically).
+        assert {pmos.src, pmos.snk} == {"out", VDD_NODE}
+        assert pmos.w == pytest.approx(2e-6)
+        assert net.load_caps["out"] == pytest.approx(5e-15)
+        assert net.primary_inputs == {"in"}
+        assert net.primary_outputs == {"out"}
+
+    def test_ground_aliases(self, tech):
+        deck = "M1 out g gnd vss nmos W=1u L=0.35u\n"
+        net = parse_spice_netlist(deck, tech)
+        assert net.transistors[0].snk == GND_NODE
+
+    def test_continuation_lines(self, tech):
+        deck = ("M1 out in VDD VDD pmos\n"
+                "+ W=2u L=0.35u\n")
+        net = parse_spice_netlist(deck, tech)
+        assert net.transistors[0].w == pytest.approx(2e-6)
+
+    def test_comments_ignored(self, tech):
+        deck = ("* a comment\n"
+                "M1 out in 0 0 nmos W=1u L=0.35u $ trailing comment\n")
+        net = parse_spice_netlist(deck, tech)
+        assert len(net.transistors) == 1
+
+    def test_resistor_value_form(self, tech):
+        deck = ("Rw a b 100\n"
+                "M1 a g 0 0 nmos W=1u L=0.35u\n")
+        net = parse_spice_netlist(deck, tech)
+        wire = net.wires[0]
+        from repro.devices.capacitance import wire_resistance
+
+        assert wire_resistance(tech.wire, wire.w,
+                               wire.l) == pytest.approx(100.0)
+
+    def test_resistor_geometry_form(self, tech):
+        deck = ("Rw a b W=1u L=50u\n"
+                "M1 a g 0 0 nmos W=1u L=0.35u\n")
+        net = parse_spice_netlist(deck, tech)
+        assert net.wires[0].l == pytest.approx(50e-6)
+
+    def test_missing_width_rejected(self, tech):
+        with pytest.raises(NetlistSyntaxError, match="missing W"):
+            parse_spice_netlist("M1 a b 0 0 nmos L=0.35u\n", tech)
+
+    def test_wrong_bulk_rejected(self, tech):
+        with pytest.raises(NetlistSyntaxError, match="bulk"):
+            parse_spice_netlist("M1 a b 0 VDD nmos W=1u L=0.35u\n", tech)
+
+    def test_floating_cap_rejected(self, tech):
+        deck = ("M1 a g 0 0 nmos W=1u L=0.35u\n"
+                "Cc a b 1f\n")
+        with pytest.raises(NetlistSyntaxError, match="grounded"):
+            parse_spice_netlist(deck, tech)
+
+    def test_unknown_card_rejected(self, tech):
+        with pytest.raises(NetlistSyntaxError, match="unsupported"):
+            parse_spice_netlist("Q1 a b c npn\n", tech)
+
+    def test_parsed_netlist_extracts(self, tech):
+        net = parse_spice_netlist(INVERTER_DECK, tech)
+        graph = extract_stages(net, tech=tech)
+        assert len(graph.stages) == 1
+
+
+class TestRoundTrip:
+    def test_write_then_parse(self, tech):
+        net = parse_spice_netlist(INVERTER_DECK, tech)
+        text = write_spice_netlist(net, tech)
+        again = parse_spice_netlist(text, tech)
+        assert len(again.transistors) == len(net.transistors)
+        assert again.primary_inputs == net.primary_inputs
+        assert again.load_caps["out"] == pytest.approx(
+            net.load_caps["out"])
+        by_name = {t.name: t for t in again.transistors}
+        for t in net.transistors:
+            assert by_name[t.name].w == pytest.approx(t.w)
+            assert by_name[t.name].polarity == t.polarity
+
+
+class TestWaveformIO:
+    @pytest.fixture
+    def result(self):
+        t = np.linspace(0, 1e-9, 21)
+        return TransientResult(times=t, voltages={
+            "a": 3.3 * np.exp(-t / 3e-10),
+            "b": 3.3 * (1 - np.exp(-t / 3e-10))})
+
+    def test_csv_round_trip(self, result, tmp_path):
+        path = str(tmp_path / "wave.csv")
+        save_csv_result(result, path)
+        loaded = load_csv_result(path)
+        np.testing.assert_allclose(loaded.times, result.times)
+        np.testing.assert_allclose(loaded.voltage("a"),
+                                   result.voltage("a"), rtol=1e-6)
+
+    def test_csv_subset_of_nodes(self, result, tmp_path):
+        path = str(tmp_path / "wave.csv")
+        save_csv_result(result, path, nodes=["b"])
+        loaded = load_csv_result(path)
+        assert loaded.node_names == ["b"]
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("volt,a\n0,1\n")
+        with pytest.raises(ValueError, match="time"):
+            load_csv_result(str(path))
+
+    def test_ascii_plot_renders(self, result):
+        art = ascii_plot(result, ["a", "b"], width=40, height=8)
+        lines = art.splitlines()
+        assert len(lines) == 8 + 3  # grid + axis + labels + legend
+        assert "legend" in lines[-1]
+        assert any("*" in line for line in lines)
+
+    def test_ascii_plot_requires_nodes(self, result):
+        with pytest.raises(ValueError):
+            ascii_plot(result, [])

@@ -1,0 +1,94 @@
+"""Tests for the bordered-tridiagonal Sherman-Morrison solve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    TridiagonalMatrix,
+    solve_bordered_tridiagonal,
+    solve_rank_one_update,
+)
+
+
+def _dd_tridiag(rng, n):
+    return TridiagonalMatrix(
+        lower=rng.uniform(-1, 1, n - 1),
+        diag=rng.uniform(3.0, 4.0, n),
+        upper=rng.uniform(-1, 1, n - 1))
+
+
+class TestRankOneUpdate:
+    @pytest.mark.parametrize("n", [2, 4, 9])
+    def test_matches_dense(self, n):
+        rng = np.random.default_rng(n)
+        m = _dd_tridiag(rng, n)
+        u = rng.uniform(-0.5, 0.5, n)
+        v = rng.uniform(-0.5, 0.5, n)
+        rhs = rng.uniform(-1, 1, n)
+        x = solve_rank_one_update(m, u, v, rhs)
+        dense = m.to_dense() + np.outer(u, v)
+        np.testing.assert_allclose(x, np.linalg.solve(dense, rhs),
+                                   rtol=1e-9)
+
+    def test_zero_update_equals_plain_solve(self):
+        rng = np.random.default_rng(3)
+        m = _dd_tridiag(rng, 5)
+        rhs = rng.uniform(-1, 1, 5)
+        x = solve_rank_one_update(m, np.zeros(5), np.zeros(5), rhs)
+        np.testing.assert_allclose(x, np.linalg.solve(m.to_dense(), rhs),
+                                   rtol=1e-10)
+
+    def test_singular_update_raises(self):
+        # A + u v^T constructed to be singular: make row 0 vanish.
+        m = TridiagonalMatrix(lower=[0.0], diag=[1.0, 1.0], upper=[0.0])
+        u = np.array([-1.0, 0.0])
+        v = np.array([1.0, 0.0])
+        with pytest.raises(np.linalg.LinAlgError):
+            solve_rank_one_update(m, u, v, np.array([1.0, 1.0]))
+
+
+class TestBorderedTridiagonal:
+    @pytest.mark.parametrize("n", [2, 3, 6, 12])
+    def test_matches_dense_last_column(self, n):
+        rng = np.random.default_rng(100 + n)
+        m = _dd_tridiag(rng, n)
+        extra = rng.uniform(-0.5, 0.5, n)
+        rhs = rng.uniform(-1, 1, n)
+        x = solve_bordered_tridiagonal(m, extra, rhs)
+        dense = m.to_dense()
+        dense[:, -1] += extra
+        np.testing.assert_allclose(x, np.linalg.solve(dense, rhs),
+                                   rtol=1e-9)
+
+    def test_rejects_wrong_column_length(self):
+        m = _dd_tridiag(np.random.default_rng(0), 4)
+        with pytest.raises(ValueError):
+            solve_bordered_tridiagonal(m, np.zeros(3), np.zeros(4))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 5000), n=st.integers(2, 25))
+    def test_residual_property(self, seed, n):
+        rng = np.random.default_rng(seed)
+        m = _dd_tridiag(rng, n)
+        extra = rng.uniform(-0.5, 0.5, n)
+        rhs = rng.uniform(-5, 5, n)
+        x = solve_bordered_tridiagonal(m, extra, rhs)
+        dense = m.to_dense()
+        dense[:, -1] += extra
+        np.testing.assert_allclose(dense @ x, rhs, rtol=1e-7, atol=1e-8)
+
+    def test_qwm_shaped_system(self):
+        # The shape the matcher produces: zero in the (n,n) diagonal slot
+        # (step input), condition entry on the sub-diagonal.
+        m = TridiagonalMatrix(
+            lower=np.array([0.1, 0.2, 1.0]),
+            diag=np.array([5.0, 4.0, 3.0, 0.0]),
+            upper=np.array([-0.3, -0.2, 7.0]))
+        extra = np.array([2.0, 1.5, 0.0, 0.0])
+        rhs = np.array([1.0, -1.0, 0.5, 0.2])
+        x = solve_bordered_tridiagonal(m, extra, rhs)
+        dense = m.to_dense()
+        dense[:, -1] += extra
+        np.testing.assert_allclose(dense @ x, rhs, atol=1e-10)

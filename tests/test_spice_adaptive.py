@@ -1,0 +1,85 @@
+"""Tests for the adaptive (LTE-controlled) transient engine."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import builders
+from repro.spice import (
+    AdaptiveOptions,
+    AdaptiveTransientSimulator,
+    ConstantSource,
+    StepSource,
+    TransientOptions,
+    TransientSimulator,
+)
+
+
+class TestOptions:
+    def test_ordering_validated(self):
+        with pytest.raises(ValueError):
+            AdaptiveOptions(dt_min=1e-12, dt_initial=0.5e-12)
+        with pytest.raises(ValueError):
+            AdaptiveOptions(lte_tol=0.0)
+
+
+class TestInverter:
+    @pytest.fixture(scope="class")
+    def runs(self, tech):
+        inv = builders.inverter(tech)
+        src = {"a": StepSource(0.0, tech.vdd, 20e-12)}
+        fixed = TransientSimulator(inv, tech, TransientOptions(
+            t_stop=250e-12, dt=1e-12)).run(src)
+        adaptive = AdaptiveTransientSimulator(inv, tech, AdaptiveOptions(
+            t_stop=250e-12)).run(src)
+        return fixed, adaptive
+
+    def test_fewer_steps_than_fixed(self, runs):
+        fixed, adaptive = runs
+        assert adaptive.stats.steps < fixed.stats.steps
+
+    def test_delay_agrees_with_fixed(self, tech, runs):
+        fixed, adaptive = runs
+        d_fixed = fixed.delay_50("out", tech.vdd, t_input=20e-12)
+        d_adapt = adaptive.delay_50("out", tech.vdd, t_input=20e-12)
+        assert d_adapt == pytest.approx(d_fixed, rel=0.06)
+
+    def test_time_axis_monotone_and_bounded(self, runs):
+        _, adaptive = runs
+        assert np.all(np.diff(adaptive.times) > 0)
+        assert adaptive.times[-1] == pytest.approx(250e-12, rel=1e-9)
+
+    def test_label(self, runs):
+        _, adaptive = runs
+        assert adaptive.label == "spice-adaptive"
+
+    def test_steps_land_on_input_edge(self, tech, runs):
+        _, adaptive = runs
+        # Some accepted time must be exactly the step instant (the edge
+        # limiter prevents stepping across the discontinuity).
+        assert np.any(np.isclose(adaptive.times, 20e-12, atol=1e-16))
+
+
+class TestStack:
+    def test_stack_discharge_tracks_fixed(self, tech):
+        st = builders.nmos_stack(tech, 4, widths=[1e-6] * 4, load=10e-15)
+        inputs = {"g1": StepSource(0, tech.vdd, 20e-12)}
+        inputs.update({f"g{k}": ConstantSource(tech.vdd)
+                       for k in range(2, 5)})
+        init = {n.name: tech.vdd for n in st.internal_nodes}
+        fixed = TransientSimulator(st, tech, TransientOptions(
+            t_stop=500e-12, dt=1e-12)).run(inputs, initial=init)
+        adaptive = AdaptiveTransientSimulator(st, tech, AdaptiveOptions(
+            t_stop=500e-12)).run(inputs, initial=init)
+        d_f = fixed.delay_50("out", tech.vdd, t_input=20e-12)
+        d_a = adaptive.delay_50("out", tech.vdd, t_input=20e-12)
+        assert d_a == pytest.approx(d_f, rel=0.06)
+        assert adaptive.stats.steps < fixed.stats.steps
+
+    def test_tighter_tolerance_takes_more_steps(self, tech):
+        inv = builders.inverter(tech)
+        src = {"a": StepSource(0.0, tech.vdd, 20e-12)}
+        loose = AdaptiveTransientSimulator(inv, tech, AdaptiveOptions(
+            t_stop=200e-12, lte_tol=10e-3)).run(src)
+        tight = AdaptiveTransientSimulator(inv, tech, AdaptiveOptions(
+            t_stop=200e-12, lte_tol=0.5e-3)).run(src)
+        assert tight.stats.steps > loose.stats.steps

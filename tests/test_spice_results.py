@@ -1,0 +1,83 @@
+"""Tests for transient result containers and measurements."""
+
+import numpy as np
+import pytest
+
+from repro.spice import SimulationStats, TransientResult
+
+
+@pytest.fixture
+def ramp_result():
+    t = np.linspace(0.0, 10.0, 11)
+    return TransientResult(
+        times=t,
+        voltages={"up": t * 0.3, "down": 3.0 - t * 0.3},
+        label="test")
+
+
+class TestContainer:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TransientResult(times=np.array([0.0, 1.0]),
+                            voltages={"a": np.array([1.0])})
+
+    def test_node_names(self, ramp_result):
+        assert set(ramp_result.node_names) == {"up", "down"}
+
+    def test_at_interpolates(self, ramp_result):
+        assert ramp_result.at("up", 5.5) == pytest.approx(1.65)
+
+    def test_sample(self, ramp_result):
+        out = ramp_result.sample("up", np.array([0.0, 2.5, 10.0]))
+        np.testing.assert_allclose(out, [0.0, 0.75, 3.0])
+
+    def test_final_value(self, ramp_result):
+        assert ramp_result.final_value("down") == pytest.approx(0.0)
+
+
+class TestCrossings:
+    def test_rising_crossing(self, ramp_result):
+        t = ramp_result.crossing_time("up", 1.5, "rise")
+        assert t == pytest.approx(5.0)
+
+    def test_falling_crossing(self, ramp_result):
+        t = ramp_result.crossing_time("down", 1.5, "fall")
+        assert t == pytest.approx(5.0)
+
+    def test_direction_filter(self, ramp_result):
+        assert ramp_result.crossing_time("up", 1.5, "fall") is None
+
+    def test_after_filter(self, ramp_result):
+        assert ramp_result.crossing_time("up", 1.5, "rise",
+                                         after=6.0) is None
+
+    def test_never_crossed(self, ramp_result):
+        assert ramp_result.crossing_time("up", 100.0) is None
+
+    def test_delay_50(self, ramp_result):
+        # vdd = 3.0 -> 50% = 1.5 -> t = 5.
+        assert ramp_result.delay_50("up", 3.0) == pytest.approx(5.0)
+        assert ramp_result.delay_50("up", 3.0,
+                                    t_input=1.0) == pytest.approx(4.0)
+
+    def test_slew(self, ramp_result):
+        # 10%..90% of 3.0 -> 0.3..2.7 -> t from 1 to 9.
+        assert ramp_result.slew("up", 3.0, "rise") == pytest.approx(8.0)
+        assert ramp_result.slew("down", 3.0, "fall") == pytest.approx(8.0)
+
+    def test_slew_requires_direction(self, ramp_result):
+        with pytest.raises(ValueError):
+            ramp_result.slew("up", 3.0, "sideways")
+
+
+class TestStats:
+    def test_merge_accumulates(self):
+        a = SimulationStats(steps=10, newton_iterations=20,
+                            device_evaluations=100, wall_time=1.0)
+        b = SimulationStats(steps=1, newton_iterations=2,
+                            device_evaluations=10, wall_time=0.5)
+        c = a.merge(b)
+        assert c.steps == 11
+        assert c.newton_iterations == 22
+        assert c.device_evaluations == 110
+        assert c.wall_time == pytest.approx(1.5)

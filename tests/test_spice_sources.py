@@ -1,0 +1,107 @@
+"""Tests for the input-source waveforms."""
+
+import pytest
+
+from repro.spice import (
+    ConstantSource,
+    PulseSource,
+    PWLSource,
+    RampSource,
+    StepSource,
+    as_source,
+)
+
+
+class TestConstant:
+    def test_value_and_slope(self):
+        s = ConstantSource(2.5)
+        assert s.value(0.0) == 2.5
+        assert s.value(1.0) == 2.5
+        assert s.slope(0.5) == 0.0
+
+    def test_as_source_coerces_numbers(self):
+        s = as_source(3.3)
+        assert isinstance(s, ConstantSource)
+        assert s.value(0) == 3.3
+
+    def test_as_source_passthrough(self):
+        s = StepSource(0, 1, 0)
+        assert as_source(s) is s
+
+
+class TestStep:
+    def test_edges(self):
+        s = StepSource(0.0, 3.3, 1e-9)
+        assert s.value(0.999e-9) == 0.0
+        assert s.value(1e-9) == 3.3
+        assert s.value(2e-9) == 3.3
+
+    def test_slope_zero(self):
+        s = StepSource(0.0, 3.3, 1e-9)
+        assert s.slope(0.5e-9) == 0.0
+        assert s.slope(2e-9) == 0.0
+
+    def test_callable(self):
+        s = StepSource(1.0, 2.0, 0.0)
+        assert s(5.0) == 2.0
+
+
+class TestRamp:
+    def test_interpolation(self):
+        s = RampSource(0.0, 2.0, t_start=1.0, t_rise=2.0)
+        assert s.value(0.5) == 0.0
+        assert s.value(2.0) == pytest.approx(1.0)
+        assert s.value(3.5) == 2.0
+
+    def test_slope(self):
+        s = RampSource(0.0, 2.0, t_start=1.0, t_rise=2.0)
+        assert s.slope(2.0) == pytest.approx(1.0)
+        assert s.slope(0.5) == 0.0
+        assert s.slope(4.0) == 0.0
+
+    def test_falling_ramp(self):
+        s = RampSource(3.3, 0.0, t_start=0.0, t_rise=1.0)
+        assert s.value(0.5) == pytest.approx(1.65)
+        assert s.slope(0.5) == pytest.approx(-3.3)
+
+    def test_rejects_zero_rise(self):
+        with pytest.raises(ValueError):
+            RampSource(0, 1, 0, 0.0)
+
+
+class TestPulse:
+    def test_phases(self):
+        s = PulseSource(v0=0.0, v1=1.0, delay=1.0, rise=1.0, width=2.0,
+                        fall=1.0)
+        assert s.value(0.5) == 0.0
+        assert s.value(1.5) == pytest.approx(0.5)
+        assert s.value(3.0) == 1.0
+        assert s.value(4.5) == pytest.approx(0.5)
+        assert s.value(10.0) == 0.0
+
+    def test_periodic(self):
+        s = PulseSource(0.0, 1.0, delay=0.0, rise=0.1, width=0.3,
+                        fall=0.1, period=1.0)
+        assert s.value(0.2) == 1.0
+        assert s.value(1.2) == pytest.approx(s.value(0.2))
+
+
+class TestPWL:
+    def test_interpolates(self):
+        s = PWLSource([(0.0, 0.0), (1.0, 2.0), (3.0, 1.0)])
+        assert s.value(-1.0) == 0.0
+        assert s.value(0.5) == pytest.approx(1.0)
+        assert s.value(2.0) == pytest.approx(1.5)
+        assert s.value(5.0) == 1.0
+
+    def test_slope_via_default_fd(self):
+        s = PWLSource([(0.0, 0.0), (1.0, 1.0)])
+        assert s.slope(0.5) == pytest.approx(1.0, rel=1e-3)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            PWLSource([(1.0, 0.0), (0.5, 1.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PWLSource([])
