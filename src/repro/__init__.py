@@ -18,6 +18,9 @@ including every substrate the paper depends on:
   longest-path STA built on QWM.
 * :mod:`repro.baselines` — switch-level (Crystal/IRSIM) and
   successive-chords (TETA) related-work baselines.
+* :mod:`repro.lint` — static pre-simulation analysis: rule-based ERC,
+  model, solver-preflight and interconnect checks with structured
+  diagnostics (also the ``repro lint`` CLI subcommand).
 
 Quickstart::
 
@@ -77,6 +80,14 @@ from repro.analysis import (
     measure_slew,
 )
 from repro.baselines import SuccessiveChordsSimulator, SwitchLevelTimer
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    PreflightError,
+    Severity,
+    lint_netlist,
+    lint_stage,
+)
 
 __version__ = "1.0.0"
 
@@ -115,5 +126,11 @@ __all__ = [
     "measure_slew",
     "SuccessiveChordsSimulator",
     "SwitchLevelTimer",
+    "Diagnostic",
+    "LintReport",
+    "PreflightError",
+    "Severity",
+    "lint_netlist",
+    "lint_stage",
     "__version__",
 ]

@@ -88,7 +88,8 @@ class StaticTimingAnalyzer:
                  library: Optional[TableModelLibrary] = None,
                  options: Optional[QWMOptions] = None,
                  propagate_slews: bool = False,
-                 input_slew: float = 20e-12):
+                 input_slew: float = 20e-12,
+                 preflight: bool = False):
         """
         Args:
             tech: process technology.
@@ -102,12 +103,17 @@ class StaticTimingAnalyzer:
                 very slow ramps lose accuracy.
             input_slew: full-swing transition time assumed for primary
                 inputs in slew mode [s].
+            preflight: when True, :meth:`analyze` lints the whole stage
+                graph (ERC + solver rules) up front and raises
+                :class:`repro.lint.PreflightError` on error-severity
+                findings before evaluating any arc.
         """
         self.tech = tech
         self.evaluator = WaveformEvaluator(tech, library=library,
                                            options=options)
         self.propagate_slews = propagate_slews
         self.input_slew = input_slew
+        self.preflight = preflight
 
     # ------------------------------------------------------------------
     def stage_arc(self, stage: LogicStage, output: str,
@@ -228,7 +234,20 @@ class StaticTimingAnalyzer:
 
         Returns:
             Arrival times for every stage-output event reached.
+
+        Raises:
+            repro.lint.PreflightError: when ``preflight=True`` and the
+                graph or solver options fail an error-severity rule.
         """
+        if self.preflight:
+            from repro.lint import LintContext, preflight
+
+            ctx = LintContext.from_stage_graph(
+                graph, tech=self.tech,
+                options=self.evaluator.options,
+                library=self.evaluator.library)
+            preflight(ctx, what="stage graph",
+                      packs=("erc", "solver"))
         arrivals: Dict[Event, ArrivalTime] = {}
         driven = set(graph.driver_of)
         primary_inputs = set()

@@ -1,14 +1,46 @@
-"""Structural validation of logic stages."""
+"""Structural validation of logic stages.
+
+Since the introduction of :mod:`repro.lint` this module is a thin,
+backward-compatible adapter: the structural rules themselves live in
+the ERC rule pack (:mod:`repro.lint.rules_erc`) and are shared with the
+``repro lint`` CLI and the solver preflight hooks.  ``validate_stage``
+runs them on a single stage and raises a :class:`StageValidationError`
+formatting every error-severity diagnostic, exactly as it always did.
+"""
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.circuit.netlist import LogicStage
 
 
 class StageValidationError(ValueError):
-    """A logic stage violates the polar-graph structural rules."""
+    """A logic stage violates the polar-graph structural rules.
+
+    Attributes:
+        diagnostics: the structured lint findings behind the message
+            (:class:`repro.lint.Diagnostic` records, errors first).
+    """
+
+    def __init__(self, message: str, diagnostics: Sequence = ()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+
+def lint_stage_structure(stage: LogicStage,
+                         require_outputs: bool = True):
+    """Run the structural ERC rules on one stage.
+
+    Returns:
+        The :class:`repro.lint.LintReport` (all severities; callers
+        decide what to do with warnings).
+    """
+    from repro.lint import LintContext, LintRunner
+
+    disable = () if require_outputs else ("ERC005",)
+    runner = LintRunner(packs=("erc",), disable=disable)
+    return runner.run(LintContext.from_stage(stage))
 
 
 def validate_stage(stage: LogicStage, require_outputs: bool = True) -> None:
@@ -20,43 +52,12 @@ def validate_stage(stage: LogicStage, require_outputs: bool = True) -> None:
     marked.
 
     Raises:
-        StageValidationError: describing every violation found.
+        StageValidationError: describing every violation found; its
+            ``diagnostics`` attribute carries the structured records.
     """
-    problems: List[str] = []
-
-    if not stage.edges:
-        problems.append("stage has no circuit elements")
-
-    for node in stage.internal_nodes:
-        if node.degree == 0:
-            problems.append(f"node {node.name!r} is dangling")
-
-    for edge in stage.edges:
-        if edge.kind.is_transistor and not edge.gate_input:
-            problems.append(f"transistor {edge.name!r} has no gate input")
-        if edge.w <= 0 or edge.l <= 0:
-            problems.append(f"edge {edge.name!r} has non-positive geometry")
-
-    # Connectivity: every node with incident edges must be reachable from
-    # one of the poles through element edges (ignoring direction).
-    if stage.edges:
-        seen = set()
-        frontier = [stage.source, stage.sink]
-        while frontier:
-            node = frontier.pop()
-            if node.name in seen:
-                continue
-            seen.add(node.name)
-            for edge in node.edges:
-                frontier.append(edge.other(node))
-        for node in stage.nodes:
-            if node.degree > 0 and node.name not in seen:
-                problems.append(
-                    f"node {node.name!r} unreachable from the poles")
-
-    if require_outputs and not stage.outputs:
-        problems.append("stage has no marked outputs")
-
-    if problems:
+    report = lint_stage_structure(stage, require_outputs=require_outputs)
+    errors = report.errors
+    if errors:
+        problems: List[str] = [d.message for d in errors]
         raise StageValidationError(
-            f"stage {stage.name!r}: " + "; ".join(problems))
+            f"stage {stage.name!r}: " + "; ".join(problems), errors)

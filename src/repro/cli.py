@@ -16,6 +16,13 @@ Commands
 ``characterize``
     Characterize the device tables and print their statistics.
 
+``lint DECK.sp``
+    Run the static pre-simulation checks (:mod:`repro.lint`) on a deck
+    and print the diagnostics; exits 1 when errors are found.
+    ``--format json`` emits a machine-readable report, ``--models``
+    additionally characterizes and lints the device tables,
+    ``--disable ERC005`` / ``--severity ERC007=error`` tune rules.
+
 Voltage/time values accept SPICE suffixes (``20p``, ``3.3``, ``50f``).
 Source specs: ``name=step:v0:v1:t``, ``name=ramp:v0:v1:t0:trise``,
 ``name=dc:v``.
@@ -24,6 +31,8 @@ Source specs: ``name=step:v0:v1:t``, ``name=ramp:v0:v1:t0:trise``,
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import Dict, List, Optional
 
@@ -163,6 +172,42 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.core.qwm import QWMOptions
+    from repro.lint import LintContext, LintRunner, Severity
+
+    tech = CMOSP35
+    with open(args.deck) as handle:
+        text = handle.read()
+    netlist = parse_spice_netlist(text, tech,
+                                  name=os.path.basename(args.deck))
+
+    overrides = {}
+    for spec in args.severity or []:
+        if "=" not in spec:
+            raise ValueError(f"expected RULE=LEVEL, got {spec!r}")
+        rule, level = spec.split("=", 1)
+        overrides[rule] = Severity.parse(level)
+
+    ctx = LintContext.from_netlist(
+        netlist, tech=tech, options=QWMOptions(),
+        grid_step=parse_value(args.grid_step))
+    if args.models:
+        library = TableModelLibrary(tech,
+                                    grid_step=parse_value(args.grid_step))
+        ctx.tables = [library.get("n"), library.get("p")]
+        ctx.corners = all_corners(tech)
+
+    runner = LintRunner(disable=tuple(args.disable or ()),
+                        severity_overrides=overrides)
+    report = runner.run(ctx)
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+    return 1 if report.errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -199,6 +244,25 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["n", "p"])
     char.add_argument("--grid-step", default="0.1")
     char.set_defaults(func=_cmd_characterize)
+
+    lint = sub.add_parser("lint",
+                          help="static pre-simulation checks on a deck")
+    lint.add_argument("deck")
+    lint.add_argument("--format", choices=["text", "json"],
+                      default="text", help="report format")
+    lint.add_argument("--disable", action="append", metavar="RULE",
+                      help="disable a rule by ID, full ID or slug "
+                           "(repeatable)")
+    lint.add_argument("--severity", action="append",
+                      metavar="RULE=LEVEL",
+                      help="override a rule's severity, e.g. "
+                           "ERC007=error (repeatable)")
+    lint.add_argument("--models", action="store_true",
+                      help="also characterize and lint the device "
+                           "tables (slower)")
+    lint.add_argument("--grid-step", default="0.1",
+                      help="characterization grid pitch hint [V]")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -41,14 +41,34 @@ class WaveformEvaluator:
             across evaluators to amortize characterization, mirroring
             the paper's one-time device characterization).
         options: QWM scheduler options.
+        preflight: when True, lint every stage (structural ERC rules +
+            solver options) on first evaluation and raise
+            :class:`repro.lint.PreflightError` on error-severity
+            findings instead of attempting a solve.
     """
 
     def __init__(self, tech: Technology,
                  library: Optional[TableModelLibrary] = None,
-                 options: Optional[QWMOptions] = None):
+                 options: Optional[QWMOptions] = None,
+                 preflight: bool = False):
         self.tech = tech
         self.library = library or TableModelLibrary(tech)
         self.options = options or QWMOptions()
+        self.preflight = preflight
+        self._preflighted: set = set()
+
+    def _preflight_stage(self, stage: LogicStage) -> None:
+        """Lint a stage once (keyed by identity) before solving it."""
+        if not self.preflight or id(stage) in self._preflighted:
+            return
+        from repro.lint import LintContext, preflight
+
+        ctx = LintContext.from_stage(stage, tech=self.tech,
+                                     options=self.options)
+        ctx.grid_step = getattr(self.library, "grid_step", None)
+        preflight(ctx, what=f"stage {stage.name!r}",
+                  packs=("erc", "solver"))
+        self._preflighted.add(id(stage))
 
     # ------------------------------------------------------------------
     def extract(self, stage: LogicStage, output: str, direction: str,
@@ -155,6 +175,7 @@ class WaveformEvaluator:
         Returns:
             The QWM solution (waveforms + stats).
         """
+        self._preflight_stage(stage)
         path = self.extract(stage, output, direction, inputs)
         start = self.default_initial(path, precharge, inputs=inputs,
                                      t_start=t_start)

@@ -83,6 +83,21 @@ class QWMOptions:
         if self.waveform_order not in (1, 2):
             raise ValueError("waveform_order must be 1 (piecewise linear)"
                              " or 2 (piecewise quadratic)")
+        # Shared with the SOL002 lint rule so the constructor and the
+        # preflight can never disagree about what "degenerate" means.
+        from repro.lint.rules_solver import check_milestone_fractions
+
+        problems = check_milestone_fractions(self.milestone_fractions)
+        if problems:
+            raise ValueError("; ".join(problems))
+        if self.t_stop <= 0:
+            raise ValueError("t_stop must be positive")
+        if self.turn_on_margin < 0:
+            raise ValueError("turn_on_margin must be non-negative")
+        if self.cascade_substeps < 1:
+            raise ValueError("cascade_substeps must be >= 1")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
 
 
 @dataclass

@@ -1,0 +1,66 @@
+"""``repro.lint`` — static pre-simulation analysis of QWM inputs.
+
+A rule-based lint framework that inspects netlists, stage graphs,
+device tables, solver options and interconnect networks *before* any
+transient solve, emitting structured :class:`Diagnostic` records with
+stable rule IDs.  Four built-in rule packs:
+
+======  ============================================================
+pack    rules
+======  ============================================================
+erc     ``ERC001-floating-gate`` … ``ERC008-stage-extraction`` —
+        structural polar-graph preconditions (Definition 1)
+model   ``MOD001-nonfinite-table`` … ``MOD005-corner-mismatch`` —
+        tabular I/V and capacitance sanity
+solver  ``SOL001-stack-depth`` … ``SOL003-newton-sanity`` —
+        QWM/Newton configuration preflight
+interconnect  ``INT001-negative-rc`` … ``INT003-coupling-self-loop``
+======  ============================================================
+
+Typical use::
+
+    from repro.lint import lint_netlist
+
+    report = lint_netlist(netlist, tech=CMOSP35)
+    if not report.ok:
+        print(report.format_text())
+
+or from the command line: ``python -m repro lint DECK.sp``.
+"""
+
+from repro.lint.context import CouplingCap, LintContext
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Location,
+    Severity,
+)
+from repro.lint.runner import (
+    LintRule,
+    LintRunner,
+    PreflightError,
+    all_rule_classes,
+    lint_netlist,
+    lint_stage,
+    preflight,
+    register,
+    rule_packs,
+)
+
+__all__ = [
+    "CouplingCap",
+    "Diagnostic",
+    "LintContext",
+    "LintReport",
+    "LintRule",
+    "LintRunner",
+    "Location",
+    "PreflightError",
+    "Severity",
+    "all_rule_classes",
+    "lint_netlist",
+    "lint_stage",
+    "preflight",
+    "register",
+    "rule_packs",
+]

@@ -1,0 +1,183 @@
+"""Structured lint diagnostics.
+
+The vocabulary every rule pack emits into: a :class:`Diagnostic` is one
+finding with a stable rule ID (``ERC001-floating-gate``), a severity, a
+:class:`Location` and a human-readable message plus an optional fix
+hint.  A :class:`LintReport` is the ordered collection a
+:class:`~repro.lint.runner.LintRunner` produces, with text and JSON
+renderings for the CLI.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+
+class Severity(enum.Enum):
+    """Severity of a diagnostic, ordered error > warning > info."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Sort rank (errors first)."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+    @classmethod
+    def parse(cls, text: "Severity | str") -> "Severity":
+        """Coerce a string (``"error"``/``"warning"``/``"info"``)."""
+        if isinstance(text, cls):
+            return text
+        try:
+            return cls(str(text).strip().lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[s.value for s in cls]}") from None
+
+
+@dataclass(frozen=True)
+class Location:
+    """Where a diagnostic points.
+
+    Attributes:
+        scope: the kind of object inspected (``"netlist"``, ``"stage"``,
+            ``"table"``, ``"options"``, ``"rc-tree"``, ``"corner"``).
+        container: name of the inspected object (design, stage, table).
+        element: the offending member (node, net, device, parameter),
+            when one can be singled out.
+    """
+
+    scope: str
+    container: Optional[str] = None
+    element: Optional[str] = None
+
+    def __str__(self) -> str:
+        parts = [self.scope]
+        if self.container:
+            parts.append(self.container)
+        if self.element:
+            parts.append(self.element)
+        return ":".join(parts)
+
+    def to_json(self) -> Dict[str, Optional[str]]:
+        return {"scope": self.scope, "container": self.container,
+                "element": self.element}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    Attributes:
+        rule: stable full rule ID, e.g. ``"ERC001-floating-gate"``.
+        severity: error / warning / info.
+        message: human-readable description of the violation.
+        location: what the finding points at.
+        hint: optional fix suggestion.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    location: Location
+    hint: Optional[str] = None
+
+    @property
+    def sort_key(self):
+        return (self.severity.rank, self.rule, str(self.location),
+                self.message)
+
+    def format(self) -> str:
+        """One-line text rendering."""
+        text = (f"{self.severity.value:<7} {self.rule} "
+                f"at {self.location}: {self.message}")
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_json(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "location": self.location.to_json(),
+        }
+        if self.hint is not None:
+            data["hint"] = self.hint
+        return data
+
+
+class LintReport:
+    """An ordered, severity-sorted collection of diagnostics."""
+
+    def __init__(self, diagnostics: Sequence[Diagnostic] = (),
+                 rules_checked: int = 0):
+        self.diagnostics: List[Diagnostic] = sorted(
+            diagnostics, key=lambda d: d.sort_key)
+        self.rules_checked = rules_checked
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostics were produced."""
+        return not self.errors
+
+    @property
+    def rule_ids(self) -> List[str]:
+        """Distinct rule IDs present, sorted."""
+        return sorted({d.rule for d in self.diagnostics})
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        counts = (f"{len(self.errors)} error(s), "
+                  f"{len(self.warnings)} warning(s), "
+                  f"{len(self.infos)} info(s)")
+        if self.rules_checked:
+            counts += f" [{self.rules_checked} rule(s) checked]"
+        return counts
+
+    def format_text(self) -> str:
+        """Multi-line text rendering (diagnostics + summary)."""
+        lines = [d.format() for d in self.diagnostics]
+        if not lines:
+            lines.append("clean: no diagnostics")
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serializable rendering (stable ordering)."""
+        return {
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.infos),
+                "rules_checked": self.rules_checked,
+            },
+        }

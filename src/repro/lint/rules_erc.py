@@ -1,0 +1,346 @@
+"""ERC rule pack: electrical/structural rule checks.
+
+These are the paper's structural preconditions (Definition 1: a
+well-formed polar stage graph) checked statically, before any transient
+solve.  Rules inspect the flat netlist when one is present and every
+logic stage in the context; both views matter, because some breakage is
+only visible pre-extraction (non-positive geometry aborts extraction)
+and some only post-extraction (a dangling node added to a stage).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Set
+
+from repro.circuit.netlist import GND_NODE, VDD_NODE
+from repro.lint.context import LintContext
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+from repro.lint.runner import LintRule, register
+
+RAILS = (VDD_NODE, GND_NODE)
+
+
+def channel_components(netlist: Any) -> List[Dict[str, Any]]:
+    """Group a flat netlist into channel-connected components.
+
+    Returns one record per component: its non-supply ``nets``, member
+    ``transistors`` and ``wires``, and whether any member touches a
+    supply rail (``rail_contact``).  Mirrors the union-find of
+    :func:`repro.circuit.stage.extract_stages` without raising on
+    malformed inputs.
+    """
+    parent: Dict[str, str] = {}
+
+    def find(net: str) -> str:
+        root = parent.setdefault(net, net)
+        while root != parent[root]:
+            root = parent[root]
+        while parent[net] != root:
+            parent[net], net = root, parent[net]
+        return root
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for t in netlist.transistors:
+        nets = [n for n in (t.src, t.snk) if n not in RAILS]
+        for net in nets:
+            find(net)
+        if len(nets) == 2:
+            union(nets[0], nets[1])
+    for w in netlist.wires:
+        nets = [n for n in (w.a, w.b) if n not in RAILS]
+        for net in nets:
+            find(net)
+        if len(nets) == 2:
+            union(nets[0], nets[1])
+
+    components: Dict[str, Dict[str, Any]] = {}
+
+    def record(*nets: str) -> Dict[str, Any]:
+        for net in nets:
+            if net not in RAILS:
+                root = find(net)
+                return components.setdefault(
+                    root, {"nets": set(), "transistors": [],
+                           "wires": [], "rail_contact": False})
+        return components.setdefault(
+            "<supply>", {"nets": set(), "transistors": [],
+                         "wires": [], "rail_contact": True})
+
+    for t in netlist.transistors:
+        comp = record(t.src, t.snk)
+        comp["transistors"].append(t)
+        comp["nets"].update(n for n in (t.src, t.snk) if n not in RAILS)
+        if t.src in RAILS or t.snk in RAILS:
+            comp["rail_contact"] = True
+    for w in netlist.wires:
+        comp = record(w.a, w.b)
+        comp["wires"].append(w)
+        comp["nets"].update(n for n in (w.a, w.b) if n not in RAILS)
+        if w.a in RAILS or w.b in RAILS:
+            comp["rail_contact"] = True
+    return list(components.values())
+
+
+def driven_nets(netlist: Any) -> Set[str]:
+    """Nets that can carry a driven logic value: channel and wire nets."""
+    nets: Set[str] = set()
+    for t in netlist.transistors:
+        nets.update(n for n in (t.src, t.snk) if n not in RAILS)
+    for w in netlist.wires:
+        nets.update(n for n in (w.a, w.b) if n not in RAILS)
+    return nets
+
+
+def _stage_loc(stage: Any, element: str = None) -> Location:
+    return Location("stage", getattr(stage, "name", "?"), element)
+
+
+def _net_loc(ctx: LintContext, element: str = None) -> Location:
+    return Location("netlist", ctx.design_name, element)
+
+
+@register
+class FloatingGateRule(LintRule):
+    """A transistor gate that nothing can ever drive."""
+
+    rule_id = "ERC001"
+    slug = "floating-gate"
+    pack = "erc"
+    default_severity = Severity.ERROR
+    description = ("Transistor gates must be primary inputs, rails or "
+                   "driven nets; an undriven gate floats.")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.netlist is not None:
+            net = ctx.netlist
+            driven = driven_nets(net) | set(net.primary_inputs)
+            for t in net.transistors:
+                if t.gate in RAILS or t.gate in driven:
+                    continue
+                yield self.diag(
+                    f"transistor {t.name!r} gate net {t.gate!r} is "
+                    "floating (not a primary input and driven by no "
+                    "stage)",
+                    _net_loc(ctx, t.name),
+                    hint=f"mark {t.gate!r} with .input or wire it to a "
+                         "driving stage")
+        for stage in ctx.stages:
+            for edge in stage.edges:
+                if edge.kind.is_transistor and not edge.gate_input:
+                    yield self.diag(
+                        f"transistor {edge.name!r} has no gate input",
+                        _stage_loc(stage, edge.name),
+                        hint="give the transistor a gate input signal")
+
+
+@register
+class DanglingNodeRule(LintRule):
+    """An internal stage node with no incident elements."""
+
+    rule_id = "ERC002"
+    slug = "dangling-node"
+    pack = "erc"
+    default_severity = Severity.ERROR
+    description = "Internal stage nodes must connect to an element."
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for stage in ctx.stages:
+            for node in stage.internal_nodes:
+                if node.degree == 0:
+                    yield self.diag(
+                        f"node {node.name!r} is dangling",
+                        _stage_loc(stage, node.name),
+                        hint="remove the node or connect an element")
+
+
+@register
+class PoleUnreachableRule(LintRule):
+    """Subgraphs with no conduction path to either pole."""
+
+    rule_id = "ERC003"
+    slug = "pole-unreachable"
+    pack = "erc"
+    default_severity = Severity.ERROR
+    description = ("Every connected element must be reachable from the "
+                   "VDD/GND poles; unreachable islands can never "
+                   "charge or discharge.")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.netlist is not None:
+            for comp in channel_components(ctx.netlist):
+                if comp["transistors"] and not comp["rail_contact"]:
+                    nets = ", ".join(sorted(comp["nets"])[:6])
+                    yield self.diag(
+                        f"channel-connected subgraph {{{nets}}} has no "
+                        "path to VDD or GND",
+                        _net_loc(ctx, sorted(comp["nets"])[0]),
+                        hint="connect the subgraph to a supply rail")
+        for stage in ctx.stages:
+            if not stage.edges:
+                continue
+            seen = set()
+            frontier = [stage.source, stage.sink]
+            while frontier:
+                node = frontier.pop()
+                if node.name in seen:
+                    continue
+                seen.add(node.name)
+                for edge in node.edges:
+                    frontier.append(edge.other(node))
+            for node in stage.nodes:
+                if node.degree > 0 and node.name not in seen:
+                    yield self.diag(
+                        f"node {node.name!r} unreachable from the poles",
+                        _stage_loc(stage, node.name),
+                        hint="connect the island to the stage's "
+                             "pull network")
+
+
+@register
+class NonPositiveGeometryRule(LintRule):
+    """Zero or negative device geometry."""
+
+    rule_id = "ERC004"
+    slug = "nonpositive-geometry"
+    pack = "erc"
+    default_severity = Severity.ERROR
+    description = "Device widths and lengths must be positive."
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.netlist is not None:
+            for element in (list(ctx.netlist.transistors)
+                            + list(ctx.netlist.wires)):
+                if element.w <= 0 or element.l <= 0:
+                    yield self.diag(
+                        f"element {element.name!r} has non-positive "
+                        f"geometry (W={element.w:g}, L={element.l:g})",
+                        _net_loc(ctx, element.name),
+                        hint="set W= and L= to positive lengths in "
+                             "meters")
+        for stage in ctx.stages:
+            for edge in stage.edges:
+                if edge.w <= 0 or edge.l <= 0:
+                    yield self.diag(
+                        f"edge {edge.name!r} has non-positive geometry",
+                        _stage_loc(stage, edge.name),
+                        hint="set the edge width/length positive")
+
+
+@register
+class MissingOutputRule(LintRule):
+    """Stages (and designs) without marked outputs."""
+
+    rule_id = "ERC005"
+    slug = "missing-output"
+    pack = "erc"
+    default_severity = Severity.ERROR
+    description = ("A stage must mark at least one output; a design "
+                   "should declare primary outputs.")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.netlist is not None and not ctx.netlist.primary_outputs:
+            yield self.diag(
+                "netlist declares no primary outputs (.output)",
+                _net_loc(ctx), severity=Severity.WARNING,
+                hint="add a .output card naming the timed nets")
+        for stage in ctx.stages:
+            if not stage.outputs:
+                yield self.diag(
+                    "stage has no marked outputs",
+                    _stage_loc(stage),
+                    hint="mark_output() the stage's observable node")
+
+
+@register
+class EmptyStageRule(LintRule):
+    """Stages or netlists with no circuit elements at all."""
+
+    rule_id = "ERC006"
+    slug = "empty-stage"
+    pack = "erc"
+    default_severity = Severity.ERROR
+    description = "A stage/netlist must contain at least one element."
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if (ctx.netlist is not None and not ctx.netlist.transistors
+                and not ctx.netlist.wires):
+            yield self.diag("netlist has no circuit elements",
+                            _net_loc(ctx),
+                            hint="add M/R cards before linting")
+        for stage in ctx.stages:
+            if not stage.edges:
+                yield self.diag("stage has no circuit elements",
+                                _stage_loc(stage),
+                                hint="add transistors or wires")
+
+
+@register
+class MixedPolarityPullRule(LintRule):
+    """NMOS pulling from VDD / PMOS pulling to GND (degraded levels)."""
+
+    rule_id = "ERC007"
+    slug = "mixed-polarity-pull"
+    pack = "erc"
+    default_severity = Severity.WARNING
+    description = ("An NMOS on the VDD rail or a PMOS on the GND rail "
+                   "passes a threshold-degraded level.")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.netlist is not None:
+            for t in ctx.netlist.transistors:
+                yield from self._check_element(
+                    t.polarity, t.name, (t.src, t.snk),
+                    _net_loc(ctx, t.name))
+        for stage in ctx.stages:
+            for edge in stage.transistors:
+                terminals = []
+                if edge.src is stage.source:
+                    terminals.append(VDD_NODE)
+                if edge.snk is stage.source:
+                    terminals.append(VDD_NODE)
+                if edge.src is stage.sink:
+                    terminals.append(GND_NODE)
+                if edge.snk is stage.sink:
+                    terminals.append(GND_NODE)
+                yield from self._check_element(
+                    edge.kind.polarity, edge.name, terminals,
+                    _stage_loc(stage, edge.name))
+
+    def _check_element(self, polarity: str, name: str, terminals,
+                       location: Location) -> Iterator[Diagnostic]:
+        if polarity == "n" and VDD_NODE in terminals:
+            yield self.diag(
+                f"NMOS {name!r} pulls from VDD: the passed high level "
+                "degrades by a threshold",
+                location,
+                hint="use a PMOS pull-up (or accept the degraded swing)")
+        if polarity == "p" and GND_NODE in terminals:
+            yield self.diag(
+                f"PMOS {name!r} pulls to GND: the passed low level "
+                "degrades by a threshold",
+                location,
+                hint="use an NMOS pull-down (or accept the degraded "
+                     "swing)")
+
+
+@register
+class StageExtractionRule(LintRule):
+    """Stage extraction itself failed on this netlist."""
+
+    rule_id = "ERC008"
+    slug = "stage-extraction"
+    pack = "erc"
+    default_severity = Severity.ERROR
+    description = ("The netlist could not be partitioned into logic "
+                   "stages; stage-level checks were skipped.")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.extraction_error:
+            yield self.diag(
+                f"stage extraction failed: {ctx.extraction_error}",
+                _net_loc(ctx),
+                hint="fix the netlist-level errors above and re-lint")

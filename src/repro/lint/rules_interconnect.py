@@ -1,0 +1,127 @@
+"""Interconnect rule pack: RC networks and coupling capacitors.
+
+The decoder-tree experiments reduce long wires to π macromodels; a
+negative branch resistance or capacitance anywhere upstream silently
+corrupts the moments.  These rules inspect
+:class:`~repro.interconnect.rc_network.RCTree` instances
+(``ctx.rc_trees``), coupling-capacitor records (``ctx.coupling_caps``)
+and wire-only islands of the flat netlist.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.circuit.netlist import GND_NODE, VDD_NODE
+from repro.lint.context import LintContext
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+from repro.lint.runner import LintRule, register
+from repro.lint.rules_erc import channel_components
+
+
+@register
+class NegativeRCRule(LintRule):
+    """Negative or non-finite R/C values in an RC tree."""
+
+    rule_id = "INT001"
+    slug = "negative-rc"
+    pack = "interconnect"
+    default_severity = Severity.ERROR
+    description = ("RC tree branch resistances and node capacitances "
+                   "must be finite and non-negative.")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for index, tree in enumerate(ctx.rc_trees):
+            name = getattr(tree, "root", f"tree{index}")
+            for node in tree.node_names:
+                loc = Location("rc-tree", name, node)
+                cap = tree.cap(node)
+                if not math.isfinite(cap) or cap < 0:
+                    yield self.diag(
+                        f"node {node!r} has capacitance {cap:g} F "
+                        "(must be finite and non-negative)",
+                        loc,
+                        hint="check the extraction that produced this "
+                             "tree (add_cap accepts negative deltas)")
+                if tree.parent(node) is None:
+                    continue
+                resistance = tree.resistance(node)
+                if not math.isfinite(resistance) or resistance < 0:
+                    yield self.diag(
+                        f"branch to {node!r} has resistance "
+                        f"{resistance:g} ohm (must be finite and "
+                        "non-negative)",
+                        loc, hint="fix the branch resistance")
+                elif resistance == 0:
+                    yield self.diag(
+                        f"branch to {node!r} has zero resistance; the "
+                        "node is electrically identical to its parent",
+                        loc, severity=Severity.WARNING,
+                        hint="collapse the node into its parent")
+
+
+@register
+class DisconnectedRCRule(LintRule):
+    """Wire islands not attached to any transistor."""
+
+    rule_id = "INT002"
+    slug = "disconnected-rc"
+    pack = "interconnect"
+    default_severity = Severity.WARNING
+    description = ("A wire subnetwork with no transistor and no rail "
+                   "contact floats: it can never be driven.")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        if ctx.netlist is None:
+            return
+        for comp in channel_components(ctx.netlist):
+            if comp["transistors"] or not comp["wires"]:
+                continue
+            if comp["rail_contact"]:
+                continue
+            nets = sorted(comp["nets"])
+            shown = ", ".join(nets[:6])
+            yield self.diag(
+                f"wire island {{{shown}}} "
+                f"({len(comp['wires'])} segment(s)) connects to no "
+                "transistor",
+                Location("netlist", ctx.design_name, nets[0]),
+                hint="connect the wires to a driving stage or delete "
+                     "them")
+
+
+@register
+class CouplingSelfLoopRule(LintRule):
+    """Degenerate coupling capacitors."""
+
+    rule_id = "INT003"
+    slug = "coupling-self-loop"
+    pack = "interconnect"
+    default_severity = Severity.ERROR
+    description = ("A coupling capacitor needs two distinct non-rail "
+                   "terminals and a non-negative value.")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        for cc in ctx.coupling_caps:
+            loc = Location("netlist", ctx.design_name, cc.name)
+            if cc.net_a == cc.net_b:
+                yield self.diag(
+                    f"coupling capacitor {cc.name!r} is a self-loop "
+                    f"on net {cc.net_a!r}",
+                    loc, hint="a capacitor between a net and itself "
+                              "has no effect; remove it")
+            if cc.cap < 0 or not math.isfinite(cc.cap):
+                yield self.diag(
+                    f"coupling capacitor {cc.name!r} has value "
+                    f"{cc.cap:g} F (must be finite and non-negative)",
+                    loc, hint="fix the extracted coupling value")
+            for net in (cc.net_a, cc.net_b):
+                if net in (VDD_NODE, GND_NODE):
+                    yield self.diag(
+                        f"coupling capacitor {cc.name!r} terminal "
+                        f"{net!r} is a supply rail: that is load, not "
+                        "coupling",
+                        loc, severity=Severity.WARNING,
+                        hint="model rail capacitance as a grounded "
+                             "load instead")

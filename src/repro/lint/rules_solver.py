@@ -1,0 +1,258 @@
+"""Solver-preflight rule pack: QWM configuration sanity.
+
+Bad solver options don't crash immediately — they surface as Newton
+divergence deep inside the region cascade.  These rules check the
+``QWMOptions``/``NewtonOptions`` bundle (duck-typed via ``ctx.options``)
+and the interaction between stage stack depth and the characterization
+grid resolution.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator, List, Optional
+
+from repro.lint.context import LintContext
+from repro.lint.diagnostics import Diagnostic, Location, Severity
+from repro.lint.runner import LintRule, register
+
+#: Milestone fractions above this are considered out of range (the
+#: default schedule starts slightly above the rail at 1.10).
+MAX_MILESTONE_FRACTION = 1.5
+#: Series pull paths deeper than this get a blanket depth warning.
+MAX_RECOMMENDED_DEPTH = 16
+#: A DFS longest-path search gives up after this many steps and falls
+#: back to a BFS shortest-path estimate.
+_DFS_STEP_BUDGET = 20000
+
+
+def _opts_loc(element: str = None) -> Location:
+    return Location("options", "qwm", element)
+
+
+def check_milestone_fractions(fractions) -> List[str]:
+    """Problems with a milestone-fraction schedule (empty list = ok).
+
+    Shared between :class:`MilestoneFractionRule` and
+    ``QWMOptions.__post_init__`` so the constructor and the lint rule
+    can never disagree.
+    """
+    problems: List[str] = []
+    fractions = tuple(fractions)
+    if not fractions:
+        problems.append("milestone_fractions is empty: the schedule "
+                        "would stop at the end of the turn-on cascade")
+        return problems
+    bad = [f for f in fractions
+           if not isinstance(f, (int, float)) or not math.isfinite(f)]
+    if bad:
+        problems.append(f"milestone_fractions contains non-finite "
+                        f"values: {bad}")
+        return problems
+    out_of_range = [f for f in fractions
+                    if f <= 0.0 or f > MAX_MILESTONE_FRACTION]
+    if out_of_range:
+        problems.append(
+            f"milestone fractions {out_of_range} outside "
+            f"(0, {MAX_MILESTONE_FRACTION}]: targets at or below "
+            "ground (or far above the rail) can never be matched")
+    if any(b >= a for a, b in zip(fractions, fractions[1:])):
+        problems.append(
+            f"milestone_fractions {fractions} must be strictly "
+            "decreasing: the scheduler pops targets in order and "
+            "silently skips any already above the waveform")
+    return problems
+
+
+def stage_stack_depth(stage: Any) -> int:
+    """Deepest series element chain from an output node to a rail.
+
+    Exact (longest simple path) for the small stages QWM targets, with
+    a step budget; falls back to the BFS shortest path on pathological
+    inputs.
+    """
+    best = 0
+    budget = [_DFS_STEP_BUDGET]
+    rails = (stage.source, stage.sink)
+
+    def dfs(node, visited, depth) -> Optional[int]:
+        budget[0] -= 1
+        if budget[0] <= 0:
+            return None
+        if node in rails:
+            return depth
+        deepest = 0
+        for edge in node.edges:
+            neighbor = edge.other(node)
+            if neighbor.name in visited:
+                continue
+            visited.add(neighbor.name)
+            sub = dfs(neighbor, visited, depth + 1)
+            visited.discard(neighbor.name)
+            if sub is None:
+                return None
+            deepest = max(deepest, sub)
+        return deepest
+
+    for output in stage.outputs:
+        found = dfs(output, {output.name}, 0)
+        if found is None:
+            found = _bfs_depth(stage, output)
+        best = max(best, found)
+    return best
+
+
+def _bfs_depth(stage: Any, output: Any) -> int:
+    rails = (stage.source, stage.sink)
+    frontier = [(output, 0)]
+    seen = {output.name}
+    while frontier:
+        node, depth = frontier.pop(0)
+        if node in rails:
+            return depth
+        for edge in node.edges:
+            neighbor = edge.other(node)
+            if neighbor.name not in seen:
+                seen.add(neighbor.name)
+                frontier.append((neighbor, depth + 1))
+    return 0
+
+
+@register
+class StackDepthRule(LintRule):
+    """Stack depth vs the characterization grid's voltage resolution."""
+
+    rule_id = "SOL001"
+    slug = "stack-depth"
+    pack = "solver"
+    default_severity = Severity.WARNING
+    description = ("Deep series stacks space their node voltages "
+                   "closer than the table grid pitch resolves.")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        pitch = self._grid_pitch(ctx)
+        for stage in ctx.stages:
+            if not stage.outputs or not stage.edges:
+                continue
+            depth = stage_stack_depth(stage)
+            if depth <= 0:
+                continue
+            loc = Location("stage", stage.name)
+            if depth > MAX_RECOMMENDED_DEPTH:
+                yield self.diag(
+                    f"deepest pull path has {depth} series elements "
+                    f"(recommended maximum {MAX_RECOMMENDED_DEPTH})",
+                    loc,
+                    hint="split the stage or accept degraded accuracy")
+                continue
+            if pitch is not None and stage.vdd / depth < 2.0 * pitch:
+                yield self.diag(
+                    f"deepest pull path of {depth} elements leaves "
+                    f"~{stage.vdd / depth:.2f} V per node, under twice "
+                    f"the table grid pitch ({pitch:.2f} V): bilinear "
+                    "interpolation will dominate the region solves",
+                    loc,
+                    hint="characterize with a finer grid_step for this "
+                         "design")
+
+    @staticmethod
+    def _grid_pitch(ctx: LintContext) -> Optional[float]:
+        pitches = []
+        for table in ctx.tables:
+            grid = table.grid
+            for axis in (grid.vs_values, grid.vg_values):
+                if axis.size >= 2:
+                    pitches.append(float(max(
+                        axis[k + 1] - axis[k]
+                        for k in range(axis.size - 1))))
+        if pitches:
+            return max(pitches)
+        return ctx.grid_step
+
+
+@register
+class MilestoneFractionRule(LintRule):
+    """Degenerate milestone-fraction schedules."""
+
+    rule_id = "SOL002"
+    slug = "milestone-fractions"
+    pack = "solver"
+    default_severity = Severity.ERROR
+    description = ("Milestone fractions must be finite, inside "
+                   "(0, 1.5] and strictly decreasing.")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        options = ctx.options
+        if options is None or not hasattr(options, "milestone_fractions"):
+            return
+        for problem in check_milestone_fractions(
+                options.milestone_fractions):
+            yield self.diag(problem, _opts_loc("milestone_fractions"),
+                            hint="use a strictly decreasing schedule "
+                                 "like QWMOptions' default")
+
+
+@register
+class NewtonSanityRule(LintRule):
+    """Newton/scheduler controls that cannot converge."""
+
+    rule_id = "SOL003"
+    slug = "newton-sanity"
+    pack = "solver"
+    default_severity = Severity.ERROR
+    description = ("Newton tolerances, iteration/retry limits and the "
+                   "schedule time bound must be sane.")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        options = ctx.options
+        if options is None:
+            return
+        newton = getattr(options, "newton", None)
+        if newton is not None:
+            if getattr(newton, "abstol", 1.0) <= 0:
+                yield self.diag(
+                    f"newton.abstol is {newton.abstol:g} (must be "
+                    "positive): the residual test can never pass",
+                    _opts_loc("newton.abstol"),
+                    hint="use a small positive residual tolerance, "
+                         "e.g. 1e-10")
+            if getattr(newton, "xtol", 1.0) <= 0:
+                yield self.diag(
+                    f"newton.xtol is {newton.xtol:g} (must be "
+                    "positive)",
+                    _opts_loc("newton.xtol"),
+                    hint="use a small positive step tolerance")
+            max_iter = getattr(newton, "max_iterations", 100)
+            if max_iter < 2:
+                yield self.diag(
+                    f"newton.max_iterations is {max_iter} (must be "
+                    ">= 2 to take a single corrected step)",
+                    _opts_loc("newton.max_iterations"))
+            elif max_iter < 10:
+                yield self.diag(
+                    f"newton.max_iterations is {max_iter}: region "
+                    "solves routinely need ~10-40 iterations",
+                    _opts_loc("newton.max_iterations"),
+                    severity=Severity.WARNING,
+                    hint="raise max_iterations toward the default 40")
+        t_stop = getattr(options, "t_stop", None)
+        if t_stop is not None and t_stop <= 0:
+            yield self.diag(
+                f"t_stop is {t_stop:g} s (must be positive)",
+                _opts_loc("t_stop"))
+        margin = getattr(options, "turn_on_margin", None)
+        if margin is not None and margin < 0:
+            yield self.diag(
+                f"turn_on_margin is {margin:g} V (must be "
+                "non-negative)",
+                _opts_loc("turn_on_margin"))
+        substeps = getattr(options, "cascade_substeps", None)
+        if substeps is not None and substeps < 1:
+            yield self.diag(
+                f"cascade_substeps is {substeps} (must be >= 1)",
+                _opts_loc("cascade_substeps"))
+        retries = getattr(options, "max_retries", None)
+        if retries is not None and retries < 1:
+            yield self.diag(
+                f"max_retries is {retries} (must be >= 1)",
+                _opts_loc("max_retries"))

@@ -1,0 +1,88 @@
+"""Interconnect rule pack: RC trees, wire islands, coupling caps."""
+
+from repro.circuit.netlist import GND_NODE, VDD_NODE
+from repro.interconnect.rc_network import RCTree
+from repro.lint import CouplingCap, LintContext, LintRunner, Severity
+
+from tests.test_lint_erc import make_inverter_netlist
+
+
+def interconnect_report(ctx):
+    return LintRunner(packs=("interconnect",)).run(ctx)
+
+
+def make_tree():
+    tree = RCTree("drv", root_cap=5e-15)
+    tree.add_node("mid", parent="drv", resistance=120.0, cap=8e-15)
+    tree.add_node("far", parent="mid", resistance=200.0, cap=12e-15)
+    return tree
+
+
+class TestNegativeRC:
+    def test_clean_tree(self):
+        report = interconnect_report(LintContext(rc_trees=[make_tree()]))
+        assert len(report) == 0
+
+    def test_negative_cap_via_add_cap(self):
+        # RCTree.add_node validates, but add_cap accepts any delta — a
+        # large negative adjustment silently corrupts the moments.
+        tree = make_tree()
+        tree.add_cap("mid", -20e-15)
+        report = interconnect_report(LintContext(rc_trees=[tree]))
+        bad = [d for d in report if d.rule == "INT001-negative-rc"]
+        assert bad and bad[0].severity is Severity.ERROR
+        assert bad[0].location.element == "mid"
+
+    def test_zero_resistance_warns(self):
+        tree = make_tree()
+        tree.add_node("alias", parent="far", resistance=0.0, cap=1e-15)
+        report = interconnect_report(LintContext(rc_trees=[tree]))
+        (diag,) = [d for d in report if d.rule == "INT001-negative-rc"]
+        assert diag.severity is Severity.WARNING
+        assert "alias" in diag.message
+
+
+class TestDisconnectedRC:
+    def test_wire_island_warns(self):
+        net = make_inverter_netlist()
+        net.add_wire("Wi", "isl1", "isl2", w=1e-6, l=20e-6)
+        net.add_wire("Wj", "isl2", "isl3", w=1e-6, l=20e-6)
+        report = interconnect_report(LintContext.from_netlist(net))
+        (diag,) = [d for d in report
+                   if d.rule == "INT002-disconnected-rc"]
+        assert diag.severity is Severity.WARNING
+        assert "isl1" in diag.message and "2 segment(s)" in diag.message
+
+    def test_attached_wire_is_quiet(self):
+        net = make_inverter_netlist()
+        net.add_wire("Ww", "out", "far", w=1e-6, l=20e-6)
+        report = interconnect_report(LintContext.from_netlist(net))
+        assert not any(d.rule.startswith("INT002") for d in report)
+
+
+class TestCouplingCaps:
+    def test_self_loop_is_an_error(self):
+        ctx = LintContext(
+            coupling_caps=[CouplingCap("Cc", "a", "a", 1e-15)])
+        report = interconnect_report(ctx)
+        assert "INT003-coupling-self-loop" in report.rule_ids
+        assert not report.ok
+
+    def test_negative_value_is_an_error(self):
+        ctx = LintContext(
+            coupling_caps=[CouplingCap("Cc", "a", "b", -1e-15)])
+        report = interconnect_report(ctx)
+        assert any("must be finite" in d.message for d in report)
+
+    def test_rail_terminal_warns(self):
+        for rail in (VDD_NODE, GND_NODE):
+            ctx = LintContext(
+                coupling_caps=[CouplingCap("Cc", "a", rail, 1e-15)])
+            report = interconnect_report(ctx)
+            (diag,) = list(report)
+            assert diag.severity is Severity.WARNING
+
+    def test_clean_coupling_cap(self):
+        ctx = LintContext(
+            coupling_caps=[CouplingCap("Cc", "a", "b", 1e-15)])
+        assert len(interconnect_report(ctx)) == 0

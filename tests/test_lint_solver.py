@@ -1,0 +1,158 @@
+"""Solver preflight rules and the QWMOptions constructor validation."""
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.circuit import builders
+from repro.core.qwm import QWMOptions
+from repro.lint import LintContext, LintRunner
+from repro.lint.rules_solver import (
+    check_milestone_fractions,
+    stage_stack_depth,
+)
+
+
+def solver_report(ctx):
+    return LintRunner(packs=("solver",)).run(ctx)
+
+
+class TestQWMOptionsValidation:
+    def test_defaults_are_valid(self):
+        QWMOptions()
+
+    @pytest.mark.parametrize("kwargs, match", [
+        ({"milestone_fractions": ()}, "empty"),
+        ({"milestone_fractions": (0.5, 0.9)}, "strictly decreasing"),
+        ({"milestone_fractions": (1.0, 1.0, 0.5)},
+         "strictly decreasing"),
+        ({"milestone_fractions": (0.9, 0.5, -0.1)}, "outside"),
+        ({"milestone_fractions": (2.0, 0.5)}, "outside"),
+        ({"milestone_fractions": (0.9, math.nan)}, "non-finite"),
+        ({"t_stop": 0.0}, "t_stop"),
+        ({"turn_on_margin": -1e-3}, "turn_on_margin"),
+        ({"cascade_substeps": 0}, "cascade_substeps"),
+        ({"max_retries": 0}, "max_retries"),
+    ])
+    def test_bad_options_raise(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            QWMOptions(**kwargs)
+
+    def test_check_milestone_fractions_clean(self):
+        assert check_milestone_fractions(
+            QWMOptions().milestone_fractions) == []
+
+
+class TestSolverRules:
+    def test_default_options_are_clean(self):
+        report = solver_report(LintContext(options=QWMOptions()))
+        assert len(report) == 0
+
+    def test_degenerate_milestones_flagged(self):
+        # The constructor rejects these, so a rule-level check needs a
+        # duck-typed stand-in (e.g. options deserialized from a config
+        # file that bypassed QWMOptions).
+        options = SimpleNamespace(milestone_fractions=(0.5, 0.9))
+        report = solver_report(LintContext(options=options))
+        assert "SOL002-milestone-fractions" in report.rule_ids
+        assert not report.ok
+
+    def test_newton_sanity(self):
+        options = SimpleNamespace(
+            newton=SimpleNamespace(abstol=-1.0, xtol=0.0,
+                                   max_iterations=1),
+            t_stop=-1e-9, turn_on_margin=-0.5,
+            cascade_substeps=0, max_retries=0)
+        report = solver_report(LintContext(options=options))
+        elements = {d.location.element for d in report
+                    if d.rule == "SOL003-newton-sanity"}
+        assert elements == {"newton.abstol", "newton.xtol",
+                            "newton.max_iterations", "t_stop",
+                            "turn_on_margin", "cascade_substeps",
+                            "max_retries"}
+
+    def test_low_iteration_budget_is_a_warning(self):
+        options = SimpleNamespace(
+            newton=SimpleNamespace(abstol=1e-10, xtol=1e-9,
+                                   max_iterations=5))
+        report = solver_report(LintContext(options=options))
+        (diag,) = [d for d in report
+                   if d.location.element == "newton.max_iterations"]
+        assert diag.severity.value == "warning"
+
+    def test_stack_depth_of_nand(self, tech):
+        stage = builders.nand_gate(tech, 4)
+        assert stage_stack_depth(stage) == 4
+
+    def test_deep_stack_warns(self, tech):
+        stage = builders.nmos_stack(tech, length=18)
+        ctx = LintContext.from_stage(stage, tech=tech)
+        report = solver_report(ctx)
+        deep = [d for d in report if d.rule == "SOL001-stack-depth"]
+        assert deep and "18" in deep[0].message
+
+    def test_coarse_grid_vs_stack_warns(self, tech):
+        stage = builders.nand_gate(tech, 8)
+        ctx = LintContext.from_stage(stage, tech=tech)
+        ctx.grid_step = 0.5
+        report = solver_report(ctx)
+        assert any(d.rule == "SOL001-stack-depth" for d in report)
+
+    def test_fine_grid_is_quiet(self, tech):
+        stage = builders.nand_gate(tech, 2)
+        ctx = LintContext.from_stage(stage, tech=tech)
+        ctx.grid_step = 0.1
+        report = solver_report(ctx)
+        assert not any(d.rule == "SOL001-stack-depth" for d in report)
+
+
+class TestPreflightHooks:
+    def test_evaluator_preflight_rejects_broken_stage(self, tech,
+                                                      library):
+        from repro.circuit.netlist import LogicStage
+        from repro.core import WaveformEvaluator
+        from repro.lint import PreflightError
+
+        bad = LogicStage("bad", vdd=tech.vdd)
+        bad.add_node("orphan")
+        evaluator = WaveformEvaluator(tech, library=library,
+                                      preflight=True)
+        with pytest.raises(PreflightError) as excinfo:
+            evaluator.evaluate(bad, output="orphan", direction="fall",
+                               inputs={})
+        assert "ERC002-dangling-node" in excinfo.value.report.rule_ids
+
+    def test_evaluator_preflight_passes_clean_stage(self, tech,
+                                                    library):
+        from repro.core import WaveformEvaluator
+        from repro.spice import StepSource
+
+        stage = builders.nand_gate(tech, 2)
+        evaluator = WaveformEvaluator(tech, library=library,
+                                      preflight=True)
+        solution = evaluator.evaluate(
+            stage, output="out", direction="fall",
+            inputs={"a0": StepSource(0.0, tech.vdd, 0.0),
+                    "a1": tech.vdd})
+        assert solution.delay() > 0
+
+    def test_sta_preflight_rejects_broken_graph(self, tech, library):
+        from repro.analysis.sta import StaticTimingAnalyzer
+        from repro.circuit import extract_stages
+        from repro.io import parse_spice_netlist
+        from repro.lint import PreflightError
+
+        deck = """
+        .input a
+        Mp out a VDD VDD pmos W=2u L=0.35u
+        Mn out a 0 0 nmos W=1u L=0.35u
+        Rf lone1 lone2 100
+        .output out
+        """
+        graph = extract_stages(
+            parse_spice_netlist(deck, tech, name="dangle"), tech=tech)
+        analyzer = StaticTimingAnalyzer(tech, library=library,
+                                        preflight=True)
+        with pytest.raises(PreflightError):
+            analyzer.analyze(graph)
