@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.circuit.netlist import LogicStage
 from repro.core import QWMSolution, WaveformEvaluator
+from repro.obs import span, telemetry
 from repro.spice import (
     ConstantSource,
     StepSource,
@@ -76,9 +77,10 @@ def run_spice(stage: LogicStage, tech, inputs, dt: float, t_stop: float,
               initial: Optional[Dict[str, float]] = None
               ) -> TransientResult:
     """One reference transient run at a fixed step size."""
-    sim = TransientSimulator(stage, tech,
-                             TransientOptions(t_stop=t_stop, dt=dt))
-    return sim.run(inputs, initial=initial)
+    with span("bench.spice", stage=stage.name, dt=dt):
+        sim = TransientSimulator(stage, tech,
+                                 TransientOptions(t_stop=t_stop, dt=dt))
+        return sim.run(inputs, initial=initial)
 
 
 def compare_engines(stage: LogicStage, tech,
@@ -89,11 +91,13 @@ def compare_engines(stage: LogicStage, tech,
                     precharge: str = "full",
                     name: str = "") -> ExperimentRow:
     """Run both step sizes of the reference plus QWM; build a row."""
-    res_1ps = run_spice(stage, tech, inputs, 1e-12, t_stop, initial)
-    res_10ps = run_spice(stage, tech, inputs, 10e-12, t_stop, initial)
-    solution = evaluator.evaluate(stage, output, direction, inputs,
-                                  precharge=precharge,
-                                  initial=initial)
+    with span("bench.compare", circuit=name or stage.name):
+        res_1ps = run_spice(stage, tech, inputs, 1e-12, t_stop, initial)
+        res_10ps = run_spice(stage, tech, inputs, 10e-12, t_stop,
+                             initial)
+        solution = evaluator.evaluate(stage, output, direction, inputs,
+                                      precharge=precharge,
+                                      initial=initial)
     d_spice = res_1ps.delay_50(output, tech.vdd, t_input=T_SWITCH,
                                direction=direction)
     d_qwm = solution.delay(t_input=T_SWITCH)
@@ -166,6 +170,17 @@ def save_result(filename: str, content: str) -> str:
         handle.write(content + "\n")
     print("\n" + content)
     return path
+
+
+def save_metrics(filename: str) -> str:
+    """Dump the current metrics registry under benchmarks/results/.
+
+    The CI bench job uploads these dumps (``BENCH_headline.json``) as
+    artifacts so the perf trajectory accumulates across commits.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    return telemetry().export_metrics(path)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -21,6 +21,9 @@ including every substrate the paper depends on:
 * :mod:`repro.lint` — static pre-simulation analysis: rule-based ERC,
   model, solver-preflight and interconnect checks with structured
   diagnostics (also the ``repro lint`` CLI subcommand).
+* :mod:`repro.obs` — telemetry: hierarchical tracing, a metrics
+  registry keyed to the paper's cost model, and pluggable sinks
+  (also the ``repro stats`` CLI subcommand).
 
 Quickstart::
 
@@ -88,6 +91,7 @@ from repro.lint import (
     lint_netlist,
     lint_stage,
 )
+from repro.obs import ObsConfig, Telemetry, configure, disable, telemetry
 
 __version__ = "1.0.0"
 
@@ -132,5 +136,10 @@ __all__ = [
     "Severity",
     "lint_netlist",
     "lint_stage",
+    "ObsConfig",
+    "Telemetry",
+    "configure",
+    "disable",
+    "telemetry",
     "__version__",
 ]

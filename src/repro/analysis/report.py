@@ -104,4 +104,11 @@ def design_summary(graph: StageGraph, result: StaResult) -> str:
             f"Worst arrival: {result.worst.net} ({result.worst.direction})"
             f" at {result.worst.time * 1e12:.2f} ps through "
             f"{max(len(result.critical_path) - 1, 0)} stage(s)")
+    if result.stats.steps:
+        stats = result.stats
+        lines.append(
+            f"QWM cost: {stats.steps} regions, "
+            f"{stats.newton_iterations} Newton iterations, "
+            f"{stats.device_evaluations} device evaluations, "
+            f"{stats.wall_time * 1e3:.1f} ms solve time")
     return "\n".join(lines)

@@ -16,6 +16,7 @@ through the gate-capacitance loads the stage extraction already counts.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -26,6 +27,8 @@ from repro.core.engine import WaveformEvaluator
 from repro.core.qwm import QWMOptions
 from repro.devices.table_model import TableModelLibrary
 from repro.devices.technology import Technology
+from repro.obs import inc, observe, span
+from repro.spice.results import SimulationStats
 from repro.spice.sources import ConstantSource, RampSource, StepSource
 
 #: (net, direction) key; direction is the transition of the net.
@@ -61,11 +64,14 @@ class StaResult:
         worst: the latest arrival over all primary-output events.
         critical_path: chain of (net, direction) events ending at the
             worst arrival, primary input first.
+        stats: QWM cost aggregated over every arc evaluation of the run
+            (including sensitizations that were tried and rejected).
     """
 
     arrivals: Dict[Event, ArrivalTime]
     worst: Optional[ArrivalTime]
     critical_path: List[Event] = field(default_factory=list)
+    stats: SimulationStats = field(default_factory=SimulationStats)
 
     def arrival(self, net: str, direction: str) -> Optional[ArrivalTime]:
         return self.arrivals.get((net, direction))
@@ -114,6 +120,9 @@ class StaticTimingAnalyzer:
         self.propagate_slews = propagate_slews
         self.input_slew = input_slew
         self.preflight = preflight
+        # Accumulates per-arc QWM stats while analyze() runs (None
+        # outside a run, so standalone stage_arc calls skip it).
+        self._run_stats: Optional[SimulationStats] = None
 
     # ------------------------------------------------------------------
     def stage_arc(self, stage: LogicStage, output: str,
@@ -136,27 +145,38 @@ class StaticTimingAnalyzer:
             source = StepSource(v0, v1, 0.0)
             t_input = 0.0
         solution = None
-        for levels in self._sensitizations(stage, switching_input,
-                                           out_direction):
-            inputs = {switching_input: source}
-            inputs.update({name: ConstantSource(level)
-                           for name, level in levels.items()})
-            try:
-                candidate = self.evaluator.evaluate(
-                    stage, output, out_direction, inputs,
-                    precharge="dc")
-            except ValueError:
-                continue
-            # A real arc starts on the far side of mid-rail: if the DC
-            # pre-state already holds the output at its final logic
-            # value, this sensitization produces no transition.
-            v_start = candidate.output_waveform.value(0.0)
-            if out_direction == "fall" and v_start < 0.55 * vdd:
-                continue
-            if out_direction == "rise" and v_start > 0.45 * vdd:
-                continue
-            solution = candidate
-            break
+        arc_start = time.perf_counter()
+        with span("sta.stage", stage=stage.name, output=output,
+                  direction=out_direction, input=switching_input):
+            for levels in self._sensitizations(stage, switching_input,
+                                               out_direction):
+                inputs = {switching_input: source}
+                inputs.update({name: ConstantSource(level)
+                               for name, level in levels.items()})
+                try:
+                    candidate = self.evaluator.evaluate(
+                        stage, output, out_direction, inputs,
+                        precharge="dc")
+                except ValueError:
+                    continue
+                inc("sta.stage.solves")
+                # The run total counts every solve actually performed,
+                # including sensitizations rejected just below.
+                if self._run_stats is not None:
+                    self._run_stats = self._run_stats + candidate.stats
+                # A real arc starts on the far side of mid-rail: if the
+                # DC pre-state already holds the output at its final
+                # logic value, this sensitization produces no
+                # transition.
+                v_start = candidate.output_waveform.value(0.0)
+                if out_direction == "fall" and v_start < 0.55 * vdd:
+                    continue
+                if out_direction == "rise" and v_start > 0.45 * vdd:
+                    continue
+                solution = candidate
+                break
+        observe("sta.stage.wall_seconds",
+                time.perf_counter() - arc_start)
         if solution is None:
             return None
         delay = solution.delay(t_input=t_input)
@@ -248,6 +268,18 @@ class StaticTimingAnalyzer:
                 library=self.evaluator.library)
             preflight(ctx, what="stage graph",
                       packs=("erc", "solver"))
+        self._run_stats = SimulationStats()
+        try:
+            with span("sta.analyze", stages=len(graph.stages)):
+                result = self._analyze(graph, input_arrivals)
+            result.stats = self._run_stats
+        finally:
+            self._run_stats = None
+        return result
+
+    def _analyze(self, graph: StageGraph,
+                 input_arrivals: Optional[Dict[Event, float]]
+                 ) -> StaResult:
         arrivals: Dict[Event, ArrivalTime] = {}
         driven = set(graph.driver_of)
         primary_inputs = set()
@@ -264,7 +296,9 @@ class StaticTimingAnalyzer:
                 arrivals[(net, direction)] = ArrivalTime(
                     net, direction, t, slew=primary_slew)
 
-        for stage in graph.topological_order():
+        with span("sta.levelize", stages=len(graph.stages)):
+            order = list(graph.topological_order())
+        for stage in order:
             for out_node in stage.outputs:
                 for out_dir in ("rise", "fall"):
                     best: Optional[ArrivalTime] = None

@@ -23,6 +23,18 @@ Commands
     additionally characterizes and lints the device tables,
     ``--disable ERC005`` / ``--severity ERC007=error`` tune rules.
 
+``stats [DECK.sp]``
+    Evaluate one transition with QWM under full telemetry and print a
+    cost-breakdown table: regions, Newton iterations per region, device
+    evaluations, linear-solve counts and the wall-time span tree.
+    Without a deck, ``--circuit nand3`` (and friends) runs a built-in
+    stage.  ``--json`` emits the breakdown plus the raw metrics dump.
+
+Global flags: ``--trace FILE`` writes a Chrome ``trace_event`` file
+(load at chrome://tracing or https://ui.perfetto.dev) and ``--metrics
+FILE`` writes the metrics-registry JSON dump; both enable telemetry for
+any command.
+
 Voltage/time values accept SPICE suffixes (``20p``, ``3.3``, ``50f``).
 Source specs: ``name=step:v0:v1:t``, ``name=ramp:v0:v1:t0:trise``,
 ``name=dc:v``.
@@ -48,6 +60,7 @@ from repro.devices import CMOSP35, TableModelLibrary
 from repro.devices.corners import all_corners
 from repro.io import ascii_plot, parse_spice_netlist
 from repro.io.spice_netlist import parse_value
+from repro.obs import ObsConfig, configure, disable, format_span_tree, telemetry
 from repro.spice import (
     ConstantSource,
     RampSource,
@@ -208,11 +221,154 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if report.errors else 0
 
 
+#: Built-in circuits for ``repro stats`` (name -> stage factory).
+_STATS_CIRCUITS = {
+    "inverter": lambda b, tech: b.inverter(tech),
+    "nand2": lambda b, tech: b.nand_gate(tech, 2),
+    "nand3": lambda b, tech: b.nand_gate(tech, 3),
+    "nand4": lambda b, tech: b.nand_gate(tech, 4),
+    "nor2": lambda b, tech: b.nor_gate(tech, 2),
+    "nor3": lambda b, tech: b.nor_gate(tech, 3),
+    "aoi21": lambda b, tech: b.aoi21_gate(tech),
+    "oai21": lambda b, tech: b.oai21_gate(tech),
+}
+
+
+def _stats_stage(args: argparse.Namespace, tech):
+    """Resolve the stage ``repro stats`` should evaluate."""
+    if args.deck:
+        with open(args.deck) as handle:
+            text = handle.read()
+        netlist = parse_spice_netlist(text, tech, name=args.deck)
+        graph = extract_stages(netlist, tech=tech)
+        if len(graph.stages) != 1:
+            raise ValueError(
+                f"stats needs a single-stage deck "
+                f"(found {len(graph.stages)} stages)")
+        return graph.stages[0], os.path.basename(args.deck)
+    from repro.circuit import builders
+
+    return _STATS_CIRCUITS[args.circuit](builders, tech), args.circuit
+
+
+def _counter_total(registry, name: str, **labels) -> float:
+    metric = registry.get(name)
+    if metric is None:
+        return 0.0
+    return metric.value(**labels) if labels else metric.total()
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.core import WaveformEvaluator
+
+    tech = CMOSP35
+    stage, circuit_name = _stats_stage(args, tech)
+    outputs = [n.name for n in stage.outputs]
+    output = args.output or (outputs[0] if outputs else None)
+    if output is None:
+        raise ValueError("stage has no output node; pass --output")
+    inputs_avail = list(stage.inputs)
+    switching = args.input or (inputs_avail[0] if inputs_avail else None)
+    if switching is None:
+        raise ValueError("stage has no inputs to switch")
+    if switching not in inputs_avail:
+        raise ValueError(f"unknown input {switching!r} "
+                         f"(stage inputs: {inputs_avail})")
+
+    vdd = stage.vdd
+    rising_in = args.direction == "fall"
+    v0, v1 = (0.0, vdd) if rising_in else (vdd, 0.0)
+    held = vdd if args.direction == "fall" else 0.0
+    sources: Dict[str, Source] = {switching: StepSource(v0, v1, 0.0)}
+    for name in inputs_avail:
+        sources.setdefault(name, ConstantSource(held))
+
+    library = TableModelLibrary(tech,
+                                grid_step=parse_value(args.grid_step))
+    evaluator = WaveformEvaluator(tech, library=library)
+    solution = evaluator.evaluate(stage, output=output,
+                                  direction=args.direction,
+                                  inputs=sources)
+
+    bundle = telemetry()
+    registry = bundle.metrics
+    stats = solution.stats
+    delay = solution.delay()
+    solves = {
+        "sherman_morrison":
+            _counter_total(registry, "linalg.solve.sherman_morrison"),
+        "dense_lu": _counter_total(registry, "linalg.solve.dense_lu"),
+    }
+    failures = _counter_total(registry, "newton.convergence.failures")
+    cache = {
+        "miss": _counter_total(registry, "device.table.cache",
+                               result="miss"),
+        "hit": _counter_total(registry, "device.table.cache",
+                              result="hit"),
+    }
+
+    if args.json:
+        document = {
+            "circuit": circuit_name,
+            "output": output,
+            "direction": args.direction,
+            "switching_input": switching,
+            "delay_seconds": delay,
+            "stats": {
+                "regions": stats.steps,
+                "newton_iterations": stats.newton_iterations,
+                "device_evaluations": stats.device_evaluations,
+                "wall_time_seconds": stats.wall_time,
+            },
+            "linear_solves": solves,
+            "convergence_failures": failures,
+            "characterization_cache": cache,
+            "metrics": registry.to_json(),
+            "trace": bundle.tracer.stats(),
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+
+    per_region = (stats.newton_iterations / stats.steps
+                  if stats.steps else 0.0)
+    title = (f"QWM cost breakdown: {circuit_name} {output} "
+             f"{args.direction} (switching {switching})")
+    rule = "-" * max(len(title), 50)
+    delay_text = (f"{delay * 1e12:.2f} ps" if delay is not None
+                  else "no crossing")
+    print(title)
+    print(rule)
+    print(f"{'regions solved':<26}{stats.steps:>10}")
+    print(f"{'newton iterations':<26}{stats.newton_iterations:>10}"
+          f"   ({per_region:.1f} / region)")
+    print(f"{'device evaluations':<26}{stats.device_evaluations:>10}")
+    print(f"{'linear solves':<26}"
+          f"{int(solves['sherman_morrison']):>10} sherman-morrison"
+          f" / {int(solves['dense_lu'])} dense-lu")
+    print(f"{'convergence failures':<26}{int(failures):>10}")
+    print(f"{'characterization cache':<26}"
+          f"{int(cache['miss']):>10} miss / {int(cache['hit'])} hit")
+    print(f"{'delay (50%)':<26}{delay_text:>10}")
+    print(f"{'solver wall time':<26}"
+          f"{stats.wall_time * 1e3:>10.1f} ms")
+    print()
+    print("wall-time tree")
+    print(rule)
+    print(format_span_tree(bundle.tracer.records()))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Transistor-level STA by piecewise quadratic "
                     "waveform matching (Wang & Zhu, DATE 2003)")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="enable telemetry and write a Chrome "
+                             "trace_event file")
+    parser.add_argument("--metrics", metavar="FILE", default=None,
+                        help="enable telemetry and write the metrics "
+                             "JSON dump")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sta = sub.add_parser("sta", help="longest-path STA over a deck")
@@ -263,6 +419,29 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--grid-step", default="0.1",
                       help="characterization grid pitch hint [V]")
     lint.set_defaults(func=_cmd_lint)
+
+    stats = sub.add_parser("stats",
+                           help="QWM cost breakdown of one transition")
+    stats.add_argument("deck", nargs="?", default=None,
+                       help="optional single-stage deck (default: a "
+                            "built-in circuit, see --circuit)")
+    stats.add_argument("--circuit", default="nand3",
+                       choices=sorted(_STATS_CIRCUITS),
+                       help="built-in stage when no deck is given")
+    stats.add_argument("--direction", default="fall",
+                       choices=["fall", "rise"],
+                       help="output transition to evaluate")
+    stats.add_argument("--output", default=None,
+                       help="output node (default: the stage's first)")
+    stats.add_argument("--input", default=None,
+                       help="switching input (default: the stage's "
+                            "first)")
+    stats.add_argument("--grid-step", default="0.1",
+                       help="characterization grid pitch [V]")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the breakdown and raw metrics as "
+                            "JSON")
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 
@@ -270,6 +449,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    # The stats command needs telemetry regardless of the export flags.
+    wants_telemetry = bool(args.trace or args.metrics
+                           or args.command == "stats")
+    if wants_telemetry:
+        configure(ObsConfig(enabled=True))
     try:
         return args.func(args)
     except FileNotFoundError as exc:
@@ -278,6 +462,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if wants_telemetry:
+            bundle = telemetry()
+            if args.trace:
+                bundle.export_trace(args.trace)
+            if args.metrics:
+                bundle.export_metrics(args.metrics)
+            disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

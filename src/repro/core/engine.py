@@ -27,6 +27,7 @@ from typing import Dict, Optional
 from repro.circuit.netlist import LogicStage
 from repro.core.path import DischargePath, extract_path
 from repro.core.qwm import QWMOptions, QWMSolution, QWMSolver
+from repro.obs import inc, span
 from repro.devices.table_model import TableModelLibrary
 from repro.devices.technology import Technology
 from repro.spice.sources import SourceLike, as_source
@@ -63,11 +64,12 @@ class WaveformEvaluator:
             return
         from repro.lint import LintContext, preflight
 
-        ctx = LintContext.from_stage(stage, tech=self.tech,
-                                     options=self.options)
-        ctx.grid_step = getattr(self.library, "grid_step", None)
-        preflight(ctx, what=f"stage {stage.name!r}",
-                  packs=("erc", "solver"))
+        with span("engine.preflight", stage=stage.name):
+            ctx = LintContext.from_stage(stage, tech=self.tech,
+                                         options=self.options)
+            ctx.grid_step = getattr(self.library, "grid_step", None)
+            preflight(ctx, what=f"stage {stage.name!r}",
+                      packs=("erc", "solver"))
         self._preflighted.add(id(stage))
 
     # ------------------------------------------------------------------
@@ -150,6 +152,7 @@ class WaveformEvaluator:
             # A pathological bias (usually a floating pass-transistor
             # net) can defeat the DC continuation; the analytic
             # threshold-degraded estimate is the robust fallback.
+            inc("engine.dc_fallback")
             return self.default_initial(path, "degraded")
         return {name: float(solution[equations.node_index(name)])
                 for name in path.node_names}
@@ -175,14 +178,16 @@ class WaveformEvaluator:
         Returns:
             The QWM solution (waveforms + stats).
         """
-        self._preflight_stage(stage)
-        path = self.extract(stage, output, direction, inputs)
-        start = self.default_initial(path, precharge, inputs=inputs,
-                                     t_start=t_start)
-        if initial is not None:
-            start.update(initial)
-        solver = QWMSolver(path, self.options)
-        return solver.solve(inputs, start, t_start=t_start)
+        with span("engine.evaluate", stage=stage.name, output=output,
+                  direction=direction):
+            self._preflight_stage(stage)
+            path = self.extract(stage, output, direction, inputs)
+            start = self.default_initial(path, precharge, inputs=inputs,
+                                         t_start=t_start)
+            if initial is not None:
+                start.update(initial)
+            solver = QWMSolver(path, self.options)
+            return solver.solve(inputs, start, t_start=t_start)
 
     def delay(self, stage: LogicStage, output: str, direction: str,
               inputs: Dict[str, SourceLike],

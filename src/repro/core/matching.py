@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.path import DischargePath
+from repro.obs import inc
 from repro.linalg.sherman_morrison import solve_bordered_tridiagonal
 from repro.linalg.tridiagonal import TridiagonalMatrix
 from repro.linalg.newton import (
@@ -279,11 +280,13 @@ class RegionSystem:
             matrix, last_col = jac
             if use_sherman_morrison:
                 try:
-                    return solve_bordered_tridiagonal(matrix, last_col, rhs)
+                    return solve_bordered_tridiagonal(matrix, last_col,
+                                                      rhs)
                 except np.linalg.LinAlgError:
                     pass
             dense = matrix.to_dense()
             dense[:, -1] += last_col
+            inc("linalg.solve.dense_lu")
             return np.linalg.solve(dense, rhs)
 
         return solver.solve(self.residual, jacobian, x0,

@@ -40,6 +40,7 @@ from repro.circuit.elements import DeviceKind
 from repro.core.path import DischargePath
 from repro.core.waveforms import PiecewiseQuadraticWaveform, QuadraticPiece
 from repro.linalg.newton import NewtonConvergenceError, NewtonOptions
+from repro.obs import inc, observe, span
 from repro.spice.results import SimulationStats, TransientResult
 from repro.spice.sources import SourceLike, as_source
 
@@ -148,6 +149,33 @@ class QWMSolution:
                                stats=self.stats, label="qwm")
 
 
+class _TableQueryMeter:
+    """Incremental drain of a path's table-model query counters.
+
+    ``SimulationStats.device_evaluations`` is accumulated *during* the
+    schedule (after every region attempt, plus a final sweep) instead of
+    recomputed once at the end, so evaluations spent on retried or
+    abandoned regions are counted even if the schedule aborts early.
+    The ``device.table.evaluations`` metric is fed the same drained
+    deltas, keeping the two views consistent by construction.
+    """
+
+    def __init__(self, path: DischargePath):
+        self._tables = list({id(d.table): d.table
+                             for d in path.devices if d.table}.values())
+        self._seen = sum(t.query_count for t in self._tables)
+
+    def drain(self, stats: SimulationStats) -> int:
+        """Move new queries into ``stats`` and the metrics counter."""
+        now = sum(t.query_count for t in self._tables)
+        delta = now - self._seen
+        if delta:
+            self._seen = now
+            stats.device_evaluations += delta
+            inc("device.table.evaluations", delta)
+        return delta
+
+
 class QWMSolver:
     """Piecewise quadratic waveform matching on one pull path.
 
@@ -176,6 +204,17 @@ class QWMSolver:
         Returns:
             The solved :class:`QWMSolution`.
         """
+        with span("qwm.solve", k=self.path.length,
+                  direction=self.path.direction) as sp:
+            solution = self._run_schedule(inputs, initial, t_start)
+            sp.set(regions=solution.stats.steps,
+                   newton_iterations=solution.stats.newton_iterations)
+        inc("qwm.solves")
+        return solution
+
+    def _run_schedule(self, inputs: Dict[str, SourceLike],
+                      initial: Dict[str, float],
+                      t_start: float) -> QWMSolution:
         path = self.path
         opts = self.options
         sources = {name: as_source(src) for name, src in inputs.items()}
@@ -190,8 +229,7 @@ class QWMSolver:
         pieces: List[List[QuadraticPiece]] = [[] for _ in range(k_total)]
         critical_times: List[float] = [t_start]
         stats = SimulationStats()
-        tables = {id(d.table): d.table for d in path.devices if d.table}
-        queries_before = sum(t.query_count for t in tables.values())
+        meter = _TableQueryMeter(path)
 
         wall_start = time.perf_counter()
         tau = t_start
@@ -274,7 +312,7 @@ class QWMSolver:
             for condition in self._cascade_conditions(
                     device, sources, tau, u, frontier, next_idx):
                 solved = self._solve_region(sources, frontier, tau, u, i,
-                                            condition, stats)
+                                            condition, stats, meter)
                 if solved is None:
                     failed = True
                     break
@@ -306,7 +344,7 @@ class QWMSolver:
                     continue
                 condition = CrossingCondition(target)
                 solved = self._solve_region(sources, k_total, tau, u, i,
-                                            condition, stats)
+                                            condition, stats, meter)
                 if solved is None:
                     failure_budget -= 1
                     # Split the crossing: aim for the midpoint first.
@@ -324,8 +362,7 @@ class QWMSolver:
                 critical_times.append(tau)
 
         stats.wall_time = time.perf_counter() - wall_start
-        stats.device_evaluations = (
-            sum(t.query_count for t in tables.values()) - queries_before)
+        meter.drain(stats)
 
         waveforms: Dict[str, PiecewiseQuadraticWaveform] = {}
         for k, name in enumerate(path.node_names):
@@ -509,7 +546,8 @@ class QWMSolver:
 
     def _solve_region(self, sources, active: int, tau: float,
                       u: np.ndarray, i: np.ndarray, condition,
-                      stats: SimulationStats
+                      stats: SimulationStats,
+                      meter: Optional["_TableQueryMeter"] = None
                       ) -> Optional[Tuple[float, np.ndarray, np.ndarray,
                                           np.ndarray, int]]:
         """Solve one region with retries.
@@ -532,46 +570,64 @@ class QWMSolver:
                   for s in [1.0, 0.3, 3.0, 0.1][:max(opts.max_retries, 1)]]
         if opts.waveform_order != 1:
             scales += [(1.0, 1), (0.3, 1)]
-        for scale, order in scales:
-            guess = self._initial_guess(sources, active, tau, u, i,
-                                        condition, scale)
-            u_predicted = u.copy()
-            u_predicted[:active] = guess[:active]
-            caps = path.equivalent_caps(u, u_predicted)
-            for _refine in range(2):
-                system = RegionSystem(path, sources, active, tau, u, i,
-                                      condition, caps=caps,
-                                      order=order)
-                try:
-                    result = system.newton_solve(
-                        guess, options=opts.newton,
-                        use_sherman_morrison=opts.use_sherman_morrison)
-                except NewtonConvergenceError:
-                    result = None
-                    break
-                tau_new = float(result.x[active])
-                if not tau_new > tau:
-                    result = None
-                    break
-                u_new = u.copy()
-                u_new[:active] = np.clip(result.x[:active], -0.1,
-                                         1.5 * path.vdd)
-                refined = path.equivalent_caps(u, u_new)
-                stats.newton_iterations += result.iterations
-                drift = np.max(np.abs(refined - caps)
-                               / np.maximum(caps, 1e-18))
-                if drift < 5e-3:
-                    break
-                caps = refined
-                guess = result.x.copy()
-            if result is None:
-                continue
-            delta = tau_new - tau
-            order_f = float(order)
-            i_new = i.copy()
-            i_new[:active] = (order_f * caps[:active]
-                              * (u_new[:active] - u[:active]) / delta
-                              - (order_f - 1.0) * i[:active])
-            stats.steps += 1
-            return tau_new, u_new, i_new, caps, order
+        region_span = span("qwm.region", kind=type(condition).__name__,
+                           active=active)
+        region_start = time.perf_counter()
+        attempts = 0
+        with region_span:
+            for scale, order in scales:
+                attempts += 1
+                region_iterations = 0
+                guess = self._initial_guess(sources, active, tau, u, i,
+                                            condition, scale)
+                u_predicted = u.copy()
+                u_predicted[:active] = guess[:active]
+                caps = path.equivalent_caps(u, u_predicted)
+                for _refine in range(2):
+                    system = RegionSystem(path, sources, active, tau, u,
+                                          i, condition, caps=caps,
+                                          order=order)
+                    try:
+                        result = system.newton_solve(
+                            guess, options=opts.newton,
+                            use_sherman_morrison=opts.use_sherman_morrison)
+                    except NewtonConvergenceError:
+                        result = None
+                        break
+                    tau_new = float(result.x[active])
+                    if not tau_new > tau:
+                        result = None
+                        break
+                    u_new = u.copy()
+                    u_new[:active] = np.clip(result.x[:active], -0.1,
+                                             1.5 * path.vdd)
+                    refined = path.equivalent_caps(u, u_new)
+                    stats.newton_iterations += result.iterations
+                    region_iterations += result.iterations
+                    drift = np.max(np.abs(refined - caps)
+                                   / np.maximum(caps, 1e-18))
+                    if drift < 5e-3:
+                        break
+                    caps = refined
+                    guess = result.x.copy()
+                if meter is not None:
+                    meter.drain(stats)
+                if result is None:
+                    inc("newton.convergence.failures")
+                    continue
+                delta = tau_new - tau
+                order_f = float(order)
+                i_new = i.copy()
+                i_new[:active] = (order_f * caps[:active]
+                                  * (u_new[:active] - u[:active]) / delta
+                                  - (order_f - 1.0) * i[:active])
+                stats.steps += 1
+                if attempts > 1:
+                    inc("qwm.region.retries", attempts - 1)
+                observe("qwm.newton.iterations", region_iterations)
+                observe("qwm.region.wall_seconds",
+                        time.perf_counter() - region_start)
+                region_span.set(iterations=region_iterations,
+                                attempts=attempts, order=order)
+                return tau_new, u_new, i_new, caps, order
         return None

@@ -22,6 +22,7 @@ from repro.devices.capacitance import equivalent_junction_cap, gate_capacitance
 from repro.devices.characterize import CharacterizationGrid, characterize_device
 from repro.devices.mosfet import MosfetModel, nmos_model, pmos_model
 from repro.devices.technology import MosParams, Technology
+from repro.obs import inc, span
 
 
 @dataclass(frozen=True)
@@ -237,11 +238,16 @@ class TableModelLibrary:
         length = self.tech.lmin if l is None else l
         key = (polarity, round(length, 12))
         if key not in self._cache:
-            grid = characterize_device(
-                self._golden[polarity], self.tech, l=length,
-                grid_step=self.grid_step)
+            inc("device.table.cache", result="miss")
+            with span("device.characterize", polarity=polarity,
+                      length=length):
+                grid = characterize_device(
+                    self._golden[polarity], self.tech, l=length,
+                    grid_step=self.grid_step)
             params = (self.tech.nmos if polarity == "n" else self.tech.pmos)
             self._cache[key] = TableDeviceModel(grid, params)
+        else:
+            inc("device.table.cache", result="hit")
         return self._cache[key]
 
     def __len__(self) -> int:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import inc
 from repro.linalg.tridiagonal import TridiagonalMatrix, solve_tridiagonal
 
 
@@ -72,4 +73,6 @@ def solve_bordered_tridiagonal(
         )
     v = np.zeros(n)
     v[-1] = 1.0
-    return solve_rank_one_update(matrix, last_column, v, rhs)
+    update = solve_rank_one_update(matrix, last_column, v, rhs)
+    inc("linalg.solve.sherman_morrison")
+    return update

@@ -12,7 +12,7 @@ erc     ``ERC001-floating-gate`` … ``ERC008-stage-extraction`` —
         structural polar-graph preconditions (Definition 1)
 model   ``MOD001-nonfinite-table`` … ``MOD005-corner-mismatch`` —
         tabular I/V and capacitance sanity
-solver  ``SOL001-stack-depth`` … ``SOL003-newton-sanity`` —
+solver  ``SOL001-stack-depth`` … ``SOL004-telemetry-budget`` —
         QWM/Newton configuration preflight
 interconnect  ``INT001-negative-rc`` … ``INT003-coupling-self-loop``
 ======  ============================================================

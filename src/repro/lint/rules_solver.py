@@ -256,3 +256,34 @@ class NewtonSanityRule(LintRule):
             yield self.diag(
                 f"max_retries is {retries} (must be >= 1)",
                 _opts_loc("max_retries"))
+
+
+@register
+class TelemetryBudgetRule(LintRule):
+    """Tight Newton budgets are debugged blind without telemetry."""
+
+    rule_id = "SOL004"
+    slug = "telemetry-budget"
+    pack = "solver"
+    default_severity = Severity.WARNING
+    description = ("A Newton iteration budget under 10 is prone to "
+                   "convergence failures; enable telemetry before "
+                   "debugging them.")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        from repro.obs import telemetry
+
+        options = ctx.options
+        newton = getattr(options, "newton", None) if options else None
+        if newton is None:
+            return
+        max_iter = getattr(newton, "max_iterations", 100)
+        if max_iter >= 2 and max_iter < 10 and not telemetry().enabled:
+            yield self.diag(
+                f"newton.max_iterations is {max_iter} (< 10) while "
+                "telemetry is disabled: convergence failures will "
+                "leave no trace of which region or attempt failed",
+                _opts_loc("telemetry"),
+                hint="configure(ObsConfig(enabled=True)) — the "
+                     "newton.convergence.failures counter and "
+                     "qwm.region spans pinpoint failing regions")

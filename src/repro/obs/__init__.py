@@ -1,0 +1,130 @@
+"""Telemetry: hierarchical tracing, metrics and pluggable sinks.
+
+The solvers are instrumented against one process-wide
+:class:`Telemetry` bundle (tracer + metrics registry + sink), reached
+through module-level helpers so call sites stay one-liners::
+
+    from repro.obs import configure, span, inc, observe
+
+    configure(ObsConfig(enabled=True))
+    with span("qwm.region", k=2):
+        inc("device.table.evaluations", 17)
+        observe("qwm.newton.iterations", 4)
+
+By default telemetry is *disabled* and every helper degrades to a
+single attribute check (plus a shared no-op span), so instrumented hot
+paths cost effectively nothing when un-observed.  ``configure`` swaps
+the whole bundle atomically; ``disable()`` restores the default.
+
+See DESIGN.md ("Observability") for the metric catalog and how the
+names map onto the paper's cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.config import ObsConfig, SINK_KINDS
+from repro.obs.metrics import (CATALOG, Counter, Gauge, Histogram,
+                               MetricsRegistry)
+from repro.obs.sinks import (JsonlSink, NullSink, Sink, StderrSink,
+                             make_sink)
+from repro.obs.trace import (NOOP_SPAN, SpanRecord, Tracer,
+                             format_span_tree)
+
+__all__ = [
+    "ObsConfig", "SINK_KINDS", "Telemetry", "telemetry", "configure",
+    "disable", "span", "inc", "observe", "set_gauge", "CATALOG",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "Sink",
+    "NullSink", "StderrSink", "JsonlSink", "make_sink", "Tracer",
+    "SpanRecord", "NOOP_SPAN", "format_span_tree",
+]
+
+
+class Telemetry:
+    """One configured observability stack (tracer + metrics + sink)."""
+
+    def __init__(self, config: Optional[ObsConfig] = None):
+        self.config = config or ObsConfig()
+        self.sink = make_sink(self.config)
+        self.tracer = Tracer(
+            enabled=self.config.enabled and self.config.trace,
+            limit=self.config.trace_limit, sink=self.sink)
+        self.metrics = MetricsRegistry(
+            enabled=self.config.enabled and self.config.metrics,
+            max_series=self.config.max_series)
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    # ------------------------------------------------------------------
+    def export_trace(self, path: str) -> str:
+        """Write the span buffer as a Chrome ``trace_event`` file."""
+        return self.tracer.export_chrome(path)
+
+    def export_metrics(self, path: str) -> str:
+        """Write the metrics registry as a JSON dump."""
+        return self.metrics.export_json(path)
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+#: The process-wide bundle; disabled until ``configure`` is called.
+_TELEMETRY = Telemetry(ObsConfig(enabled=False))
+
+
+def telemetry() -> Telemetry:
+    """The current process-wide telemetry bundle."""
+    return _TELEMETRY
+
+
+def configure(config: ObsConfig) -> Telemetry:
+    """Install a new telemetry bundle and return it.
+
+    The previous bundle's sink is closed.  Instrumented code reads the
+    bundle through the module-level helpers at each call, so the swap
+    takes effect immediately everywhere.
+    """
+    global _TELEMETRY
+    _TELEMETRY.close()
+    _TELEMETRY = Telemetry(config)
+    return _TELEMETRY
+
+
+def disable() -> Telemetry:
+    """Restore the default disabled bundle."""
+    return configure(ObsConfig(enabled=False))
+
+
+# ----------------------------------------------------------------------
+# Hot-path helpers — one attribute check when telemetry is disabled.
+# ----------------------------------------------------------------------
+def span(name: str, **attrs):
+    """Open a span on the current tracer (no-op when disabled)."""
+    tracer = _TELEMETRY.tracer
+    if not tracer.enabled:
+        return NOOP_SPAN
+    return tracer.span(name, attrs)
+
+
+def inc(name: str, amount: float = 1.0, **labels) -> None:
+    """Increment a counter (no-op when disabled)."""
+    registry = _TELEMETRY.metrics
+    if registry.enabled:
+        registry.counter(name).inc(amount, **labels)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    """Record a histogram observation (no-op when disabled)."""
+    registry = _TELEMETRY.metrics
+    if registry.enabled:
+        registry.histogram(name).observe(value, **labels)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    """Set a gauge (no-op when disabled)."""
+    registry = _TELEMETRY.metrics
+    if registry.enabled:
+        registry.gauge(name).set(value, **labels)

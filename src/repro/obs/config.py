@@ -1,0 +1,62 @@
+"""Telemetry configuration.
+
+One :class:`ObsConfig` governs the whole observability stack: whether
+anything is recorded at all (``enabled``), which halves are active
+(``trace`` / ``metrics``), where live span events stream to (``sink``)
+and the safety bounds that keep an instrumented long-running process
+from growing without limit (``trace_limit``, ``max_series``).
+
+The default configuration is *disabled*: every instrumentation point in
+the solvers degrades to a single attribute check, so the un-observed
+hot path stays effectively free (see ``tests/test_obs.py`` for the
+overhead budget assertion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Valid values for :attr:`ObsConfig.sink`.
+SINK_KINDS = ("null", "stderr", "jsonl")
+
+
+@dataclass
+class ObsConfig:
+    """Controls for the telemetry subsystem.
+
+    Attributes:
+        enabled: master switch.  When False (the default) spans and
+            metric operations are no-ops.
+        trace: record hierarchical spans (requires ``enabled``).
+        metrics: record counters/gauges/histograms (requires
+            ``enabled``).
+        sink: live event sink — ``"null"`` (keep in memory only),
+            ``"stderr"`` (log one line per finished span) or
+            ``"jsonl"`` (append JSON lines to ``sink_path``).
+        sink_path: output file for the ``"jsonl"`` sink.
+        trace_limit: maximum retained span records; once full, further
+            spans are timed but dropped from the buffer (and counted).
+        max_series: per-metric cap on distinct label sets; observations
+            for label sets beyond the cap are dropped and counted in
+            the registry's ``dropped_series`` total.
+    """
+
+    enabled: bool = False
+    trace: bool = True
+    metrics: bool = True
+    sink: str = "null"
+    sink_path: Optional[str] = None
+    trace_limit: int = 100_000
+    max_series: int = 256
+
+    def __post_init__(self) -> None:
+        if self.sink not in SINK_KINDS:
+            raise ValueError(
+                f"sink must be one of {SINK_KINDS}, got {self.sink!r}")
+        if self.sink == "jsonl" and not self.sink_path:
+            raise ValueError("sink='jsonl' needs a sink_path")
+        if self.trace_limit < 1:
+            raise ValueError("trace_limit must be >= 1")
+        if self.max_series < 1:
+            raise ValueError("max_series must be >= 1")

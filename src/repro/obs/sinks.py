@@ -1,0 +1,88 @@
+"""Pluggable telemetry sinks.
+
+A sink receives one event dict per finished span (and whatever other
+events a caller chooses to emit, e.g. a final metrics snapshot).  Sinks
+are deliberately dumb: routing, buffering and file lifetime are the
+sink's whole job, so exporters and the CLI can share them.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from typing import Optional, TextIO
+
+from repro.obs.config import ObsConfig
+
+
+class Sink:
+    """Receives telemetry events as plain dicts."""
+
+    def emit(self, kind: str, payload: dict) -> None:
+        """Handle one event.  ``kind`` is ``"span"``, ``"metrics"``..."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any underlying resources."""
+
+
+class NullSink(Sink):
+    """Discards everything (the in-memory buffers still record)."""
+
+    def emit(self, kind: str, payload: dict) -> None:
+        pass
+
+
+class StderrSink(Sink):
+    """Logs one human-readable line per event to stderr."""
+
+    def __init__(self, stream: Optional[TextIO] = None):
+        self._stream = stream if stream is not None else sys.stderr
+
+    def emit(self, kind: str, payload: dict) -> None:
+        if kind == "span":
+            name = payload.get("name", "?")
+            dur = payload.get("duration", 0.0) * 1e6
+            attrs = payload.get("attrs") or {}
+            extra = " ".join(f"{k}={v}" for k, v in attrs.items())
+            line = f"[obs] span {name} {dur:.1f}us"
+            if extra:
+                line += " " + extra
+        else:
+            line = f"[obs] {kind} {json.dumps(payload, sort_keys=True)}"
+        print(line, file=self._stream)
+
+
+class JsonlSink(Sink):
+    """Appends one JSON object per line to a file (thread-safe)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle: Optional[TextIO] = open(path, "a")
+
+    def emit(self, kind: str, payload: dict) -> None:
+        record = dict(payload)
+        record["kind"] = kind
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                self._handle.close()
+                self._handle = None
+
+
+def make_sink(config: ObsConfig) -> Sink:
+    """Build the sink selected by a config."""
+    if config.sink == "stderr":
+        return StderrSink()
+    if config.sink == "jsonl":
+        return JsonlSink(config.sink_path)
+    return NullSink()

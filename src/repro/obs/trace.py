@@ -1,0 +1,249 @@
+"""Hierarchical tracing: spans, the trace buffer and exporters.
+
+A *span* is a named, timed region of execution with free-form
+attributes.  Spans nest: entering a span pushes it on a thread-local
+stack, so a span finished while another is open records that span as
+its parent.  Finished spans land in a bounded, thread-safe buffer that
+exports as plain JSON or as Chrome ``trace_event`` format (load the
+file at ``chrome://tracing`` or https://ui.perfetto.dev).
+
+The tracer never raises from the hot path: when disabled, ``span()``
+returns a shared stateless no-op context manager.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.sinks import NullSink, Sink
+
+
+@dataclass
+class SpanRecord:
+    """One finished span.
+
+    Attributes:
+        span_id: unique id within this tracer (monotonic).
+        parent_id: id of the enclosing span, or None for roots.
+        name: span name, dot-qualified (``"qwm.region"``).
+        start: start instant on the tracer's clock [s].
+        duration: elapsed wall time [s].
+        attrs: free-form attributes attached at entry or via ``set``.
+        thread: OS thread ident the span ran on.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    duration: float
+    attrs: Dict[str, object] = field(default_factory=dict)
+    thread: int = 0
+
+    def to_json(self) -> dict:
+        return {"id": self.span_id, "parent": self.parent_id,
+                "name": self.name, "start": self.start,
+                "duration": self.duration, "attrs": dict(self.attrs),
+                "thread": self.thread}
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _LiveSpan:
+    """An open span; created by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id",
+                 "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = -1
+        self.parent_id: Optional[int] = None
+        self._start = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach or overwrite attributes while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_LiveSpan":
+        self._tracer._enter(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        duration = time.perf_counter() - self._start
+        self._tracer._finish(self, duration)
+        return False
+
+
+class Tracer:
+    """Thread-safe in-memory span recorder.
+
+    Args:
+        enabled: record spans at all (False = every ``span()`` call
+            returns the shared no-op).
+        limit: maximum retained records; beyond it spans are dropped
+            (the drop count is reported by :meth:`stats`).
+        sink: live sink receiving one event per finished span.
+    """
+
+    def __init__(self, enabled: bool = True, limit: int = 100_000,
+                 sink: Optional[Sink] = None):
+        self.enabled = enabled
+        self.limit = limit
+        self.sink = sink or NullSink()
+        self._emit_live = not isinstance(self.sink, NullSink)
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._dropped = 0
+        self._next_id = 0
+        self._stacks = threading.local()
+        #: perf_counter offset so exported timestamps start near zero.
+        self._t0 = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, attrs: Optional[dict] = None) -> _LiveSpan:
+        """Open a span (use as a context manager)."""
+        if not self.enabled:
+            return NOOP_SPAN  # type: ignore[return-value]
+        return _LiveSpan(self, name, dict(attrs) if attrs else {})
+
+    def _stack(self) -> list:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
+    def _enter(self, span: _LiveSpan) -> None:
+        stack = self._stack()
+        span.parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+        stack.append(span)
+
+    def _finish(self, span: _LiveSpan, duration: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # tolerate out-of-order exits
+            stack.remove(span)
+        record = SpanRecord(
+            span_id=span.span_id, parent_id=span.parent_id,
+            name=span.name, start=span._start - self._t0,
+            duration=duration, attrs=span.attrs,
+            thread=threading.get_ident())
+        with self._lock:
+            if len(self._records) < self.limit:
+                self._records.append(record)
+            else:
+                self._dropped += 1
+        if self._emit_live:
+            self.sink.emit("span", record.to_json())
+
+    # ------------------------------------------------------------------
+    def records(self) -> List[SpanRecord]:
+        """Snapshot of the finished spans (copy)."""
+        with self._lock:
+            return list(self._records)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {"recorded": len(self._records),
+                    "dropped": self._dropped}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._dropped = 0
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def to_json(self) -> List[dict]:
+        """All finished spans as plain dicts."""
+        return [r.to_json() for r in self.records()]
+
+    def to_chrome(self) -> dict:
+        """Chrome ``trace_event`` document (complete 'X' events)."""
+        pid = os.getpid()
+        events = []
+        for r in self.records():
+            events.append({
+                "ph": "X", "name": r.name, "cat": r.name.split(".")[0],
+                "ts": r.start * 1e6, "dur": r.duration * 1e6,
+                "pid": pid, "tid": r.thread,
+                "args": {k: _jsonable(v) for k, v in r.attrs.items()},
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_chrome(self, path: str) -> str:
+        """Write the Chrome trace document to ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome(), handle)
+        return path
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Tree rendering (the CLI `repro stats` wall-time tree)
+# ----------------------------------------------------------------------
+def format_span_tree(records: List[SpanRecord], indent: int = 2) -> str:
+    """Render finished spans as an aggregated wall-time tree.
+
+    Sibling spans with the same name are merged into one line with a
+    ``xN`` multiplicity and summed durations, which keeps per-region
+    traces readable (``qwm.region x14``).
+    """
+    children: Dict[Optional[int], List[SpanRecord]] = {}
+    for record in records:
+        children.setdefault(record.parent_id, []).append(record)
+
+    lines: List[str] = []
+
+    def walk(parent_ids: List[Optional[int]], depth: int) -> None:
+        rows: List[SpanRecord] = []
+        for pid in parent_ids:
+            rows.extend(children.get(pid, []))
+        grouped: Dict[str, List[SpanRecord]] = {}
+        for record in sorted(rows, key=lambda r: r.start):
+            grouped.setdefault(record.name, []).append(record)
+        for name, group in grouped.items():
+            total = sum(r.duration for r in group)
+            label = name if len(group) == 1 else f"{name} x{len(group)}"
+            pad = max(36 - indent * depth, len(label) + 1)
+            lines.append(f"{' ' * (indent * depth)}{label:<{pad}}"
+                         f"{total * 1e3:10.3f} ms")
+            walk([r.span_id for r in group], depth + 1)
+
+    walk([None], 0)
+    return "\n".join(lines)

@@ -36,6 +36,17 @@ class SimulationStats:
             wall_time=self.wall_time + other.wall_time,
         )
 
+    def __add__(self, other: object) -> "SimulationStats":
+        if not isinstance(other, SimulationStats):
+            return NotImplemented
+        return self.merge(other)
+
+    def __radd__(self, other: object) -> "SimulationStats":
+        # Supports sum(stats_list) which seeds the fold with int 0.
+        if other == 0:
+            return self.merge(SimulationStats())
+        return NotImplemented
+
 
 @dataclass
 class TransientResult:

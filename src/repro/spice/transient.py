@@ -19,6 +19,7 @@ import numpy as np
 from repro.circuit.netlist import LogicStage
 from repro.devices.technology import Technology
 from repro.linalg.newton import NewtonOptions, NewtonSolver
+from repro.obs import inc, span
 from repro.spice.dc import logic_initial_condition, solve_dc
 from repro.spice.mna import StageEquations
 from repro.spice.results import SimulationStats, TransientResult
@@ -85,6 +86,20 @@ class TransientSimulator:
         Returns:
             Waveforms for every internal node, with solver statistics.
         """
+        with span("spice.transient", stage=self.stage.name,
+                  method=self.options.method,
+                  dt=self.options.dt) as sp:
+            result = self._run(inputs, initial)
+            sp.set(steps=result.stats.steps,
+                   newton_iterations=result.stats.newton_iterations)
+        stats = result.stats
+        inc("spice.steps", stats.steps)
+        inc("spice.newton.iterations", stats.newton_iterations)
+        inc("spice.device.evaluations", stats.device_evaluations)
+        return result
+
+    def _run(self, inputs: Dict[str, SourceLike],
+             initial: Optional[Dict[str, float]]) -> TransientResult:
         opts = self.options
         eq = self.equations
         sources = {name: as_source(src) for name, src in inputs.items()}

@@ -81,6 +81,17 @@ class TestReports:
         assert "2 logic stages" in text
         assert "4 transistors" in text
 
+    def test_design_summary_reports_qwm_cost(self, sta_result):
+        graph, result = sta_result
+        stats = result.stats
+        assert stats.steps > 0
+        assert stats.newton_iterations >= stats.steps
+        assert stats.device_evaluations > 0
+        text = design_summary(graph, result)
+        assert "QWM cost" in text
+        assert f"{stats.steps} regions" in text
+        assert f"{stats.newton_iterations} Newton iterations" in text
+
 
 class TestSourceSpec:
     def test_dc(self):
@@ -160,3 +171,78 @@ class TestCli:
         assert code == 0
         assert "n-table" in out
         assert "Ion(n)" in out
+
+
+class TestCliStats:
+    """The ``repro stats`` cost-breakdown command."""
+
+    ARGS = ["stats", "--circuit", "nand2", "--grid-step", "0.4"]
+
+    def test_text_breakdown_and_tree(self, capsys):
+        code = main(self.ARGS)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "QWM cost breakdown: nand2" in out
+        assert "regions solved" in out
+        assert "newton iterations" in out
+        assert "/ region" in out
+        assert "sherman-morrison" in out
+        assert "wall-time tree" in out
+        assert "qwm.solve" in out
+        assert "qwm.region" in out
+
+    def test_json_document(self, capsys):
+        import json as json_mod
+
+        code = main(self.ARGS + ["--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        document = json_mod.loads(out)
+        assert document["circuit"] == "nand2"
+        stats = document["stats"]
+        assert stats["regions"] > 0
+        assert stats["newton_iterations"] >= stats["regions"]
+        assert stats["device_evaluations"] > 0
+        # Cross-check: the histogram saw exactly one observation per
+        # region and the device counter matches the stats field.
+        metrics = document["metrics"]["metrics"]
+        hist = metrics["qwm.newton.iterations"]["series"][0]
+        assert hist["count"] == stats["regions"]
+        evals = metrics["device.table.evaluations"]["series"][0]
+        assert evals["value"] == stats["device_evaluations"]
+
+    def test_deck_input(self, tmp_path, capsys):
+        deck = tmp_path / "inv.sp"
+        deck.write_text(INV_DECK)
+        code = main(["stats", str(deck), "--grid-step", "0.4",
+                     "--direction", "rise"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "QWM cost breakdown: inv.sp" in out
+        assert "(switching a)" in out
+
+    def test_rejects_unknown_input(self, capsys):
+        code = main(self.ARGS + ["--input", "zz"])
+        assert code == 2
+        assert "unknown input" in capsys.readouterr().err
+
+    def test_metrics_and_trace_export(self, tmp_path, capsys):
+        import json as json_mod
+
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        code = main(["--metrics", str(metrics_path),
+                     "--trace", str(trace_path)] + self.ARGS)
+        capsys.readouterr()
+        assert code == 0
+        dump = json_mod.loads(metrics_path.read_text())
+        hist = dump["metrics"]["qwm.newton.iterations"]["series"][0]
+        assert hist["count"] > 0
+        evals = dump["metrics"]["device.table.evaluations"]["series"][0]
+        assert evals["value"] >= 1
+        trace = json_mod.loads(trace_path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "qwm.solve" in names
+        # The CLI tears telemetry back down after exporting.
+        from repro.obs import telemetry
+        assert not telemetry().enabled

@@ -81,6 +81,38 @@ class TestSolverRules:
                    if d.location.element == "newton.max_iterations"]
         assert diag.severity.value == "warning"
 
+    def test_telemetry_budget_warns_when_blind(self):
+        options = SimpleNamespace(
+            newton=SimpleNamespace(abstol=1e-10, xtol=1e-9,
+                                   max_iterations=5))
+        report = solver_report(LintContext(options=options))
+        (diag,) = [d for d in report
+                   if d.rule == "SOL004-telemetry-budget"]
+        assert diag.severity.value == "warning"
+        assert diag.location.element == "telemetry"
+
+    def test_telemetry_budget_quiet_when_enabled(self):
+        from repro.obs import ObsConfig, configure, disable
+
+        options = SimpleNamespace(
+            newton=SimpleNamespace(abstol=1e-10, xtol=1e-9,
+                                   max_iterations=5))
+        configure(ObsConfig(enabled=True))
+        try:
+            report = solver_report(LintContext(options=options))
+        finally:
+            disable()
+        assert not any(d.rule == "SOL004-telemetry-budget"
+                       for d in report)
+
+    def test_telemetry_budget_quiet_with_default_budget(self):
+        from repro.linalg import NewtonOptions
+
+        options = SimpleNamespace(newton=NewtonOptions())
+        report = solver_report(LintContext(options=options))
+        assert not any(d.rule == "SOL004-telemetry-budget"
+                       for d in report)
+
     def test_stack_depth_of_nand(self, tech):
         stage = builders.nand_gate(tech, 4)
         assert stage_stack_depth(stage) == 4

@@ -1,0 +1,411 @@
+"""Tests for the telemetry subsystem (repro.obs)."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.circuit import builders
+from repro.obs import (
+    NOOP_SPAN,
+    MetricsRegistry,
+    ObsConfig,
+    Telemetry,
+    configure,
+    disable,
+    format_span_tree,
+    inc,
+    observe,
+    set_gauge,
+    span,
+    telemetry,
+)
+from repro.obs.metrics import ITERATION_BUCKETS
+from repro.obs.sinks import JsonlSink, StderrSink, make_sink
+from repro.obs.trace import Tracer
+from repro.spice import StepSource
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Every test starts and ends with the disabled default bundle."""
+    disable()
+    yield
+    disable()
+
+
+class TestConfig:
+    def test_defaults_disabled(self):
+        config = ObsConfig()
+        assert not config.enabled
+        assert config.sink == "null"
+
+    def test_rejects_unknown_sink(self):
+        with pytest.raises(ValueError, match="sink"):
+            ObsConfig(sink="syslog")
+
+    def test_jsonl_needs_path(self):
+        with pytest.raises(ValueError, match="sink_path"):
+            ObsConfig(sink="jsonl")
+
+    def test_rejects_non_positive_bounds(self):
+        with pytest.raises(ValueError):
+            ObsConfig(trace_limit=0)
+        with pytest.raises(ValueError):
+            ObsConfig(max_series=0)
+
+
+class TestTracer:
+    def test_nesting_assigns_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = sorted(tracer.records(), key=lambda r: r.name)
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["a"].parent_id == by_name["root"].span_id
+        assert by_name["b"].parent_id == by_name["root"].span_id
+
+    def test_timing_is_monotone(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.003)
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["inner"].duration >= 0.003
+        assert by_name["outer"].duration >= by_name["inner"].duration
+
+    def test_attrs_at_entry_and_via_set(self):
+        tracer = Tracer()
+        with tracer.span("work", {"k": 3}) as sp:
+            sp.set(result="ok")
+        (record,) = tracer.records()
+        assert record.attrs == {"k": 3, "result": "ok"}
+
+    def test_disabled_returns_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x") is NOOP_SPAN
+        with tracer.span("x") as sp:
+            sp.set(ignored=True)
+        assert tracer.records() == []
+
+    def test_limit_drops_and_counts(self):
+        tracer = Tracer(limit=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert tracer.stats() == {"recorded": 2, "dropped": 3}
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+
+        def worker():
+            with tracer.span("threaded"):
+                pass
+
+        with tracer.span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        by_name = {r.name: r for r in tracer.records()}
+        # The other thread's span must NOT parent under main's root.
+        assert by_name["threaded"].parent_id is None
+
+    def test_chrome_export_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("qwm.region", {"k": 2}):
+            pass
+        path = tracer.export_chrome(str(tmp_path / "trace.json"))
+        document = json.loads(open(path).read())
+        (event,) = document["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["name"] == "qwm.region"
+        assert event["cat"] == "qwm"
+        assert event["args"] == {"k": 2}
+        assert event["dur"] >= 0.0
+
+    def test_format_span_tree_merges_siblings(self):
+        tracer = Tracer()
+        with tracer.span("solve"):
+            for _ in range(3):
+                with tracer.span("region"):
+                    pass
+        text = format_span_tree(tracer.records())
+        assert "solve" in text
+        assert "region x3" in text
+        assert "ms" in text
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.b")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == pytest.approx(3.5)
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="up"):
+            registry.counter("a").inc(-1)
+
+    def test_labeled_series_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("cache")
+        counter.inc(result="hit")
+        counter.inc(result="hit")
+        counter.inc(result="miss")
+        assert counter.value(result="hit") == 2
+        assert counter.value(result="miss") == 1
+        assert counter.total() == 3
+
+    def test_gauge_keeps_last_value(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("speedup")
+        gauge.set(10.0)
+        gauge.set(31.6)
+        assert gauge.value() == pytest.approx(31.6)
+
+    def test_histogram_bucketing(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 3.0, 10.0, 99.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        # le=1 gets 0.5 and 1.0 (boundary inclusive), le=5 gets 3.0,
+        # le=10 gets 10.0, +Inf gets 99.0.
+        assert snap["counts"] == [2, 1, 1, 1]
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(113.5)
+
+    def test_histogram_rejects_bad_buckets(self):
+        from repro.obs.metrics import Histogram
+
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            Histogram(registry, "h1", "", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("h2", buckets=(3.0, 1.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h3", buckets=(1.0, float("inf")))
+        # Empty buckets through the registry mean "use the defaults".
+        hist = registry.histogram("h4", buckets=())
+        assert hist.buckets == ITERATION_BUCKETS
+
+    def test_catalog_supplies_buckets_and_help(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("qwm.newton.iterations")
+        assert hist.buckets == ITERATION_BUCKETS
+        assert "Newton" in hist.help
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="registered as counter"):
+            registry.histogram("x")
+
+    def test_label_cardinality_cap(self):
+        registry = MetricsRegistry(max_series=2)
+        counter = registry.counter("c")
+        for i in range(5):
+            counter.inc(series=i)
+        assert len(counter.labelsets()) == 2
+        assert registry.dropped_series == 3
+        # Established series still accept observations.
+        counter.inc(series=0)
+        assert counter.value(series=0) == 2
+
+    def test_disabled_registry_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("c").inc()
+        registry.histogram("h").observe(1.0)
+        registry.gauge("g").set(5.0)
+        assert registry.counter("c").value() == 0
+        assert registry.histogram("h").snapshot() is None
+
+    def test_json_dump_and_file_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("evals").inc(7)
+        registry.histogram("iters", buckets=(1.0, 2.0)).observe(1.5)
+        path = registry.export_json(str(tmp_path / "metrics.json"))
+        document = json.loads(open(path).read())
+        assert document["metrics"]["evals"]["series"][0]["value"] == 7
+        hist = document["metrics"]["iters"]["series"][0]
+        assert hist["counts"] == [0, 1, 0]
+        assert document["dropped_series"] == 0
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("device.table.evaluations").inc(3)
+        hist = registry.histogram("qwm.newton.iterations",
+                                  buckets=(1.0, 5.0))
+        hist.observe(2.0)
+        hist.observe(7.0)
+        text = registry.to_prometheus()
+        assert "# TYPE device_table_evaluations counter" in text
+        assert "device_table_evaluations 3.0" in text
+        assert 'qwm_newton_iterations_bucket{le="1"} 0' in text
+        assert 'qwm_newton_iterations_bucket{le="5"} 1' in text
+        assert 'qwm_newton_iterations_bucket{le="+Inf"} 2' in text
+        assert "qwm_newton_iterations_sum 9.0" in text
+        assert "qwm_newton_iterations_count 2" in text
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry(max_series=1)
+        registry.counter("c").inc(a=1)
+        registry.counter("c").inc(a=2)  # dropped
+        registry.reset()
+        assert registry.names() == []
+        assert registry.dropped_series == 0
+
+
+class TestSinks:
+    def test_make_sink_dispatch(self, tmp_path):
+        assert type(make_sink(ObsConfig())).__name__ == "NullSink"
+        assert isinstance(make_sink(ObsConfig(sink="stderr")), StderrSink)
+        jsonl = make_sink(ObsConfig(
+            sink="jsonl", sink_path=str(tmp_path / "out.jsonl")))
+        assert isinstance(jsonl, JsonlSink)
+        jsonl.close()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        bundle = configure(ObsConfig(enabled=True, sink="jsonl",
+                                     sink_path=path))
+        with span("qwm.region", k=1):
+            pass
+        with span("qwm.region", k=2):
+            pass
+        bundle.close()
+        lines = [json.loads(line)
+                 for line in open(path).read().splitlines()]
+        assert len(lines) == 2
+        assert all(line["kind"] == "span" for line in lines)
+        assert [line["attrs"]["k"] for line in lines] == [1, 2]
+
+    def test_stderr_sink_formats_spans(self):
+        import io
+
+        stream = io.StringIO()
+        sink = StderrSink(stream=stream)
+        sink.emit("span", {"name": "qwm.solve", "duration": 1e-3,
+                           "attrs": {"k": 2}})
+        text = stream.getvalue()
+        assert "[obs] span qwm.solve" in text
+        assert "k=2" in text
+
+
+class TestModuleHelpers:
+    def test_disabled_helpers_record_nothing(self):
+        assert span("anything") is NOOP_SPAN
+        inc("c")
+        observe("h", 1.0)
+        set_gauge("g", 1.0)
+        bundle = telemetry()
+        assert bundle.metrics.names() == []
+        assert bundle.tracer.records() == []
+
+    def test_configure_swaps_bundle(self):
+        first = configure(ObsConfig(enabled=True))
+        assert telemetry() is first
+        with span("x"):
+            inc("c")
+        second = disable()
+        assert telemetry() is second
+        assert not second.enabled
+        # New bundle starts empty; recording stopped.
+        inc("c")
+        assert second.metrics.names() == []
+
+    def test_telemetry_export_helpers(self, tmp_path):
+        bundle = configure(ObsConfig(enabled=True))
+        with span("s"):
+            inc("c", 4)
+        trace_path = bundle.export_trace(str(tmp_path / "t.json"))
+        metrics_path = bundle.export_metrics(str(tmp_path / "m.json"))
+        assert json.loads(open(trace_path).read())["traceEvents"]
+        dump = json.loads(open(metrics_path).read())
+        assert dump["metrics"]["c"]["series"][0]["value"] == 4
+
+
+def _nand3_sources(tech):
+    sources = {"a0": StepSource(0.0, tech.vdd, 0.0)}
+    sources.update({f"a{i}": tech.vdd for i in (1, 2)})
+    return sources
+
+
+class TestSolverIntegration:
+    def test_nand3_metrics_match_solution_stats(self, tech, evaluator):
+        stage = builders.nand_gate(tech, 3)
+        bundle = configure(ObsConfig(enabled=True))
+        try:
+            solution = evaluator.evaluate(
+                stage, output="out", direction="fall",
+                inputs=_nand3_sources(tech))
+            registry = bundle.metrics
+            hist = registry.get("qwm.newton.iterations").snapshot()
+            assert hist["count"] == solution.stats.steps
+            evals = registry.get("device.table.evaluations").total()
+            assert evals == solution.stats.device_evaluations
+            assert evals >= 1
+            solves = registry.get("linalg.solve.sherman_morrison")
+            assert solves.total() > 0
+            names = {r.name for r in bundle.tracer.records()}
+            assert {"engine.evaluate", "qwm.solve",
+                    "qwm.region"} <= names
+        finally:
+            disable()
+
+    def test_device_evaluations_counted_incrementally(self, tech,
+                                                      evaluator):
+        """Satellite check: stats come from the table's own counter."""
+        stage = builders.nand_gate(tech, 3)
+        tables = {evaluator.library.get("n"), evaluator.library.get("p")}
+        before = sum(t.query_count for t in tables)
+        solution = evaluator.evaluate(stage, output="out",
+                                      direction="fall",
+                                      inputs=_nand3_sources(tech))
+        after = sum(t.query_count for t in tables)
+        assert solution.stats.device_evaluations == after - before
+        assert solution.stats.device_evaluations > 0
+
+    def test_disabled_overhead_under_budget(self, tech, evaluator):
+        """Disabled-mode instrumentation costs <5% of a NAND3 solve.
+
+        Measured as (per-call cost of the disabled helpers) x (a
+        generous over-estimate of instrumentation call sites per
+        solve), against the solve's own wall time.
+        """
+        n_calls = 20000
+        start = time.perf_counter()
+        for _ in range(n_calls):
+            with span("x"):
+                pass
+            inc("c")
+            observe("h", 1.0)
+        per_op = (time.perf_counter() - start) / n_calls
+
+        stage = builders.nand_gate(tech, 3)
+        solution = evaluator.evaluate(stage, output="out",
+                                      direction="fall",
+                                      inputs=_nand3_sources(tech))
+        stats = solution.stats
+        # Call sites per solve: one span+2 observes+2 incs per region,
+        # one inc per Newton iteration (linalg), plus a fixed handful —
+        # then doubled for margin.
+        ops = 2 * (6 * stats.steps + stats.newton_iterations + 20)
+        overhead = ops * per_op
+        assert overhead < 0.05 * stats.wall_time, (
+            f"disabled telemetry overhead {overhead * 1e6:.1f}us vs "
+            f"solve {stats.wall_time * 1e6:.1f}us")

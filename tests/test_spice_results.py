@@ -81,3 +81,40 @@ class TestStats:
         assert c.newton_iterations == 22
         assert c.device_evaluations == 110
         assert c.wall_time == pytest.approx(1.5)
+
+    def test_merge_leaves_operands_unchanged(self):
+        a = SimulationStats(steps=10)
+        b = SimulationStats(steps=1)
+        a.merge(b)
+        assert a.steps == 10
+        assert b.steps == 1
+
+    def test_add_operator(self):
+        a = SimulationStats(steps=3, newton_iterations=9,
+                            device_evaluations=30, wall_time=0.25)
+        b = SimulationStats(steps=2, newton_iterations=4,
+                            device_evaluations=20, wall_time=0.75)
+        c = a + b
+        assert c.steps == 5
+        assert c.newton_iterations == 13
+        assert c.device_evaluations == 50
+        assert c.wall_time == pytest.approx(1.0)
+
+    def test_add_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            SimulationStats() + 3
+
+    def test_sum_of_stats_list(self):
+        runs = [SimulationStats(steps=i, newton_iterations=2 * i,
+                                device_evaluations=10 * i,
+                                wall_time=0.1 * i)
+                for i in range(1, 4)]
+        total = sum(runs)
+        assert total.steps == 6
+        assert total.newton_iterations == 12
+        assert total.device_evaluations == 60
+        assert total.wall_time == pytest.approx(0.6)
+
+    def test_sum_of_empty_list_is_int_zero(self):
+        # sum([]) returns the seed; callers guard for it.
+        assert sum([]) == 0
