@@ -6,6 +6,19 @@ from repro.core import WaveformEvaluator
 from repro.devices import CMOSP35, TableModelLibrary
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--seed", type=int, default=0,
+        help="master RNG seed for every randomized benchmark "
+             "(Monte Carlo, random stacks); one integer reproduces "
+             "the whole run")
+
+
+@pytest.fixture(scope="session")
+def master_seed(request):
+    return int(request.config.getoption("--seed"))
+
+
 @pytest.fixture(scope="session")
 def tech():
     return CMOSP35

@@ -27,6 +27,14 @@ from repro.analysis.incremental import (
     IncrementalTimer,
     stage_signature,
 )
+from repro.analysis.parallel import (
+    CanonicalForm,
+    ExecutionConfig,
+    ParallelStaEngine,
+    StageResultCache,
+    canonical_stage_form,
+    stage_fingerprint,
+)
 from repro.analysis.sensitivity import (
     SensitivityResult,
     SizingSensitivity,
@@ -55,6 +63,12 @@ __all__ = [
     "IncrementalStats",
     "IncrementalTimer",
     "stage_signature",
+    "CanonicalForm",
+    "ExecutionConfig",
+    "ParallelStaEngine",
+    "StageResultCache",
+    "canonical_stage_form",
+    "stage_fingerprint",
     "SensitivityResult",
     "SizingSensitivity",
     "clone_stage",

@@ -1,0 +1,706 @@
+"""Parallel levelized STA execution with stage-result caching.
+
+The paper's pitch is that a K-transistor stage costs K small algebraic
+solves instead of thousands of SPICE steps; this module amortizes that
+across whole-graph analysis in two orthogonal ways:
+
+* **Scheduling** — :class:`ParallelStaEngine` dispatches the levelized
+  stage graph onto a worker pool (``concurrent.futures`` thread or
+  process backends behind one :class:`ExecutionConfig`).  Dispatch is
+  dependency-aware: a stage is submitted as soon as every fanin stage
+  has merged its arrival waveforms, not when its whole level barrier
+  clears.  Workers change *scheduling only*: every arc is evaluated by
+  :func:`repro.analysis.sta.compute_stage_arrivals` — the same function
+  the serial loop runs — so arrival times are identical to the serial
+  engine bit for bit.
+
+* **Stage-result caching** — :class:`StageResultCache` memoizes arc
+  results ``(delay, output_slew)`` keyed by a canonical hash of stage
+  topology, device geometry, loads, technology, solver options and the
+  (optionally bucketed) input slew.  Repeated gate configurations — the
+  common case in decoders and the Table-1 gate set — are solved once.
+  Hit/miss counts feed the ``sta.cache`` metric in :mod:`repro.obs`,
+  and the cache can persist to an on-disk JSON store.
+
+Correctness is scheduler-independent by construction: arc math never
+reads scheduler state, a stage only runs once its fanins are final, and
+the final worst/critical-path selection scans events in sorted order
+(see DESIGN.md, "Parallel execution & caching").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from concurrent.futures import (FIRST_COMPLETED, Executor,
+                                ProcessPoolExecutor, ThreadPoolExecutor,
+                                wait)
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.sta import (ArcFn, ArrivalTime, Event, StaResult,
+                                StaticTimingAnalyzer,
+                                compute_stage_arrivals, finalize_result,
+                                primary_input_arrivals)
+from repro.circuit.netlist import LogicStage
+from repro.circuit.stage import StageGraph
+from repro.obs import inc, set_gauge, span
+from repro.spice.results import SimulationStats
+
+BACKENDS = ("serial", "thread", "process")
+
+#: (fingerprint, arc id) -> cached arc result.
+CacheKey = Tuple[str, str]
+#: Cached arc value: (delay, output_slew) or None (arc not
+#: sensitizable — caching the failure avoids re-proving it).
+CachedArc = Optional[Tuple[float, Optional[float]]]
+
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How an STA run is scheduled and cached.
+
+    Attributes:
+        workers: worker-pool size (ignored by the serial backend).
+        backend: ``"serial"`` (in-process loop, still cache-capable),
+            ``"thread"`` (shared-memory pool; low overhead, concurrency
+            bounded by how often the solver drops the GIL) or
+            ``"process"`` (true parallelism; per-worker start-up cost —
+            each worker receives the pickled characterized tables once).
+        cache: enable stage-result caching.
+        cache_size: in-memory LRU capacity (entries).
+        cache_path: optional JSON store; loaded before the run (if it
+            exists) and rewritten after, so caches persist across
+            processes/runs.
+        cache_slew_bucket: optional input-slew quantum [s].  When set,
+            arc input slews are rounded to this grid *before solving*,
+            trading arrival accuracy for cache hits across nearly-equal
+            upstream slews.  Results stay deterministic (the quantized
+            slew is solved, not approximated from a neighbor) but no
+            longer match the serial no-bucket arithmetic — leave None
+            (exact keys) when bit-identical arrivals matter.
+    """
+
+    workers: int = 1
+    backend: str = "serial"
+    cache: bool = False
+    cache_size: int = 4096
+    cache_path: Optional[str] = None
+    cache_slew_bucket: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, "
+                             f"got {self.backend!r}")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        if self.cache_slew_bucket is not None \
+                and self.cache_slew_bucket <= 0:
+            raise ValueError("cache_slew_bucket must be positive")
+
+    @property
+    def wants_cache(self) -> bool:
+        return self.cache or self.cache_path is not None
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """Name-independent identity of a stage, for cache keying.
+
+    Attributes:
+        fingerprint: hash of the canonicalized stage (topology, device
+            geometry, node loads) plus the solver context (technology,
+            QWM options, characterization grid).
+        net_ids: actual net name -> canonical net id.
+        input_ids: actual input-signal name -> canonical input id.
+    """
+
+    fingerprint: str
+    net_ids: Dict[str, str]
+    input_ids: Dict[str, str]
+
+
+def _digest(payload: object) -> str:
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()[:16]
+
+
+def canonical_stage_form(stage: LogicStage,
+                         context: Tuple = ()) -> CanonicalForm:
+    """Canonicalize a stage up to net/input renaming.
+
+    Two stages that are isomorphic as labeled polar graphs — same
+    element kinds, geometries, connectivity, loads and output marking,
+    with nets and input signals renamed arbitrarily — receive the same
+    fingerprint and corresponding canonical ids.  This is the
+    structural equivalence a decoder's repeated gate configurations
+    exhibit, and it is what lets one cached NAND solve serve every word
+    line.
+
+    Implementation: Weisfeiler-Lehman-style color refinement over nets
+    and input signals (supplies keep fixed colors), then canonical ids
+    assigned by sorted final color.  Color ties are broken by original
+    name; for the tiny, load-annotated stages QWM partitions, equal
+    colors mean genuinely symmetric (automorphic) elements, so the tie
+    break cannot make two equivalent stages disagree.
+    """
+    from repro.circuit.netlist import GND_NODE, VDD_NODE
+
+    nets = [node for node in stage.nodes
+            if node.name not in (VDD_NODE, GND_NODE)]
+    inputs = list(stage.inputs)
+
+    def geometry(edge) -> Tuple[str, str, str]:
+        return (edge.kind.value, repr(round(edge.w, 15)),
+                repr(round(edge.l, 15)))
+
+    color: Dict[Tuple[str, str], str] = {
+        ("net", VDD_NODE): "VDD", ("net", GND_NODE): "GND"}
+    for node in nets:
+        color[("net", node.name)] = _digest(
+            ("net", repr(round(node.load_cap, 21)), node.is_output))
+    for name in inputs:
+        color[("sig", name)] = "sig"
+
+    rounds = len(nets) + len(inputs) + 2
+    for _ in range(rounds):
+        refined: Dict[Tuple[str, str], str] = {
+            ("net", VDD_NODE): "VDD", ("net", GND_NODE): "GND"}
+        for node in nets:
+            items = []
+            for edge in node.edges:
+                role = "src" if edge.src is node else "snk"
+                gate = (color[("sig", edge.gate_input)]
+                        if edge.gate_input else "-")
+                other = color[("net", edge.other(node).name)]
+                items.append(geometry(edge) + (role, gate, other))
+            refined[("net", node.name)] = _digest(
+                (color[("net", node.name)], sorted(items)))
+        for name in inputs:
+            items = []
+            for edge in stage.edges_with_gate(name):
+                items.append(geometry(edge)
+                             + (color[("net", edge.src.name)],
+                                color[("net", edge.snk.name)]))
+            refined[("sig", name)] = _digest(
+                (color[("sig", name)], sorted(items)))
+        if refined == color:
+            break
+        color = refined
+
+    net_ids = {VDD_NODE: "VDD", GND_NODE: "GND"}
+    ordered = sorted(nets, key=lambda n: (color[("net", n.name)],
+                                          n.name))
+    for index, node in enumerate(ordered):
+        net_ids[node.name] = f"n{index}"
+    input_ids = {}
+    for index, name in enumerate(sorted(
+            inputs, key=lambda s: (color[("sig", s)], s))):
+        input_ids[name] = f"i{index}"
+
+    edges = sorted(
+        geometry(edge)
+        + (input_ids.get(edge.gate_input, "-") if edge.gate_input
+           else "-",
+           net_ids[edge.src.name], net_ids[edge.snk.name])
+        for edge in stage.edges)
+    loads = sorted((net_ids[node.name], repr(round(node.load_cap, 21)),
+                    node.is_output) for node in nets)
+    fingerprint = hashlib.sha256(repr(
+        (context, stage.vdd, edges, loads)).encode("utf-8")
+    ).hexdigest()[:24]
+    return CanonicalForm(fingerprint=fingerprint, net_ids=net_ids,
+                         input_ids=input_ids)
+
+
+def stage_fingerprint(stage: LogicStage, analyzer: StaticTimingAnalyzer
+                      ) -> str:
+    """Canonical hash of everything that determines a stage's arc math.
+
+    Convenience wrapper over :func:`canonical_stage_form` with the
+    analyzer's solver context mixed in; equal fingerprints mean equal
+    arc results for corresponding stimuli.  The stage *name* and its
+    net names are deliberately excluded.
+    """
+    return canonical_form_for(stage, analyzer).fingerprint
+
+
+def canonical_form_for(stage: LogicStage,
+                       analyzer: StaticTimingAnalyzer) -> CanonicalForm:
+    """The stage's :class:`CanonicalForm` under an analyzer's context."""
+    context = (repr(analyzer.tech),
+               repr(analyzer.evaluator.options),
+               getattr(analyzer.evaluator.library, "grid_step", None))
+    return canonical_stage_form(stage, context=context)
+
+
+def _slew_token(input_slew: Optional[float]) -> str:
+    return "step" if not input_slew else repr(float(input_slew))
+
+
+def quantize_slew(input_slew: Optional[float],
+                  bucket: Optional[float]) -> Optional[float]:
+    """Round a slew onto the cache bucket grid (identity when exact)."""
+    if input_slew is None or bucket is None:
+        return input_slew
+    return max(bucket, round(input_slew / bucket) * bucket)
+
+
+def arc_cache_key(fingerprint: str, output: str, direction: str,
+                  switching_input: str,
+                  input_slew: Optional[float]) -> CacheKey:
+    return (fingerprint,
+            f"{output}|{direction}|{switching_input}|"
+            f"{_slew_token(input_slew)}")
+
+
+class StageResultCache:
+    """Thread-safe LRU of stage-arc results, with optional JSON store.
+
+    Args:
+        max_entries: LRU capacity; least-recently-used entries are
+            evicted beyond it.
+        path: optional JSON store loaded on construction (missing file
+            is fine) and written by :meth:`save`.
+    """
+
+    VERSION = 1
+
+    def __init__(self, max_entries: int = 4096,
+                 path: Optional[str] = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._data: "OrderedDict[CacheKey, CachedArc]" = OrderedDict()
+        if path is not None and os.path.exists(path):
+            self.load(path)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey):
+        """The cached value, or the module-private miss sentinel.
+
+        Callers must compare against the returned object with
+        :meth:`found` — ``None`` is a legitimate cached value (an arc
+        proven unsensitizable).
+        """
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                value = self._data[key]
+                self.hits += 1
+                inc("sta.cache", result="hit")
+                return value
+            self.misses += 1
+            inc("sta.cache", result="miss")
+            return _MISS
+
+    @staticmethod
+    def found(value: object) -> bool:
+        """True when :meth:`get` returned a real (possibly None) entry."""
+        return value is not _MISS
+
+    def put(self, key: CacheKey, value: CachedArc) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+            set_gauge("sta.cache.entries", len(self._data))
+
+    def record_external(self, hits: int, misses: int) -> None:
+        """Fold hit/miss counts observed inside process workers in."""
+        with self._lock:
+            self.hits += hits
+            self.misses += misses
+        if hits:
+            inc("sta.cache", hits, result="hit")
+        if misses:
+            inc("sta.cache", misses, result="miss")
+
+    def entries_for(self, fingerprint: str) -> Dict[CacheKey, CachedArc]:
+        """Snapshot of the entries one stage task could hit."""
+        with self._lock:
+            return {key: value for key, value in self._data.items()
+                    if key[0] == fingerprint}
+
+    def merge(self, entries: Dict[CacheKey, CachedArc]) -> None:
+        for key, value in entries.items():
+            self.put(key, value)
+
+    # ------------------------------------------------------------------
+    def load(self, path: str) -> int:
+        """Load a JSON store (merging into the LRU); returns entry count."""
+        with open(path) as handle:
+            document = json.load(handle)
+        if document.get("version") != self.VERSION:
+            raise ValueError(
+                f"cache store {path!r} has version "
+                f"{document.get('version')!r}, expected {self.VERSION}")
+        count = 0
+        for joined, value in document.get("entries", {}).items():
+            fingerprint, _, arc = joined.partition("/")
+            cached: CachedArc = None
+            if value is not None:
+                delay, out_slew = value
+                cached = (float(delay),
+                          None if out_slew is None else float(out_slew))
+            self.put((fingerprint, arc), cached)
+            count += 1
+        return count
+
+    def save(self, path: Optional[str] = None) -> str:
+        """Write the JSON store (defaults to the construction path)."""
+        target = path or self.path
+        if target is None:
+            raise ValueError("no store path configured")
+        with self._lock:
+            entries = {f"{fp}/{arc}": (None if value is None
+                                       else [value[0], value[1]])
+                       for (fp, arc), value in self._data.items()}
+        document = {"version": self.VERSION, "entries": entries}
+        directory = os.path.dirname(os.path.abspath(target))
+        os.makedirs(directory, exist_ok=True)
+        with open(target, "w") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+        return target
+
+
+# ----------------------------------------------------------------------
+# Worker-side evaluation (shared by every backend).
+# ----------------------------------------------------------------------
+def _cached_arc_fn(base: ArcFn, form: CanonicalForm,
+                   cache_get: Callable[[CacheKey], object],
+                   cache_put: Callable[[CacheKey, CachedArc], None],
+                   bucket: Optional[float]) -> ArcFn:
+    """Wrap an arc evaluator with cache lookup/insert.
+
+    Keys use the stage's *canonical* net/input ids, so isomorphic
+    stages (a decoder's repeated NANDs, for example) share entries no
+    matter what their nets are called.
+    """
+    def arc_fn(stage: LogicStage, output: str, out_direction: str,
+               switching_input: str, input_slew: Optional[float]
+               ) -> CachedArc:
+        effective = quantize_slew(input_slew, bucket)
+        key = arc_cache_key(form.fingerprint, form.net_ids[output],
+                            out_direction,
+                            form.input_ids[switching_input], effective)
+        value = cache_get(key)
+        if StageResultCache.found(value):
+            return value  # type: ignore[return-value]
+        result = base(stage, output, out_direction, switching_input,
+                      effective)
+        cache_put(key, result)
+        return result
+    return arc_fn
+
+
+def _evaluate_stage(analyzer: StaticTimingAnalyzer, stage: LogicStage,
+                    snapshot: Dict[Event, ArrivalTime],
+                    cache: Optional[StageResultCache],
+                    form: Optional[CanonicalForm],
+                    bucket: Optional[float]
+                    ) -> Tuple[Dict[Event, ArrivalTime],
+                               SimulationStats]:
+    """One stage task: arrivals for the stage's output events + cost.
+
+    All QWM cost is folded into a task-local accumulator, so thread
+    workers never touch shared mutable state.
+    """
+    stats = SimulationStats()
+
+    def base(stage_: LogicStage, output: str, out_direction: str,
+             switching_input: str, input_slew: Optional[float]
+             ) -> CachedArc:
+        return analyzer.stage_arc(stage_, output, out_direction,
+                                  switching_input,
+                                  input_slew=input_slew, stats=stats)
+
+    arc_fn: ArcFn = base
+    if cache is not None and form is not None:
+        arc_fn = _cached_arc_fn(base, form, cache.get, cache.put,
+                                bucket)
+    computed = compute_stage_arrivals(stage, snapshot, arc_fn,
+                                      analyzer.propagate_slews,
+                                      analyzer.input_slew)
+    return computed, stats
+
+
+# ----------------------------------------------------------------------
+# Process-backend plumbing: one analyzer per worker process, built once
+# by the pool initializer (the characterized table library ships pickled
+# with the initargs, so workers skip re-characterization).
+# ----------------------------------------------------------------------
+_WORKER_ANALYZER: Optional[StaticTimingAnalyzer] = None
+
+
+def _process_worker_init(tech, library, options, propagate_slews,
+                         input_slew) -> None:
+    global _WORKER_ANALYZER
+    _WORKER_ANALYZER = StaticTimingAnalyzer(
+        tech, library=library, options=options,
+        propagate_slews=propagate_slews, input_slew=input_slew)
+
+
+def _process_stage_task(stage: LogicStage,
+                        snapshot: Dict[Event, ArrivalTime],
+                        form: Optional[CanonicalForm],
+                        shipped: Optional[Dict[CacheKey, CachedArc]],
+                        bucket: Optional[float]):
+    """Worker-process task: evaluate one stage against shipped cache.
+
+    Returns (arrivals, stats, new cache entries, shipped-entry hits);
+    the parent merges the new entries into the shared cache so later
+    dispatches of equal configurations hit.
+    """
+    analyzer = _WORKER_ANALYZER
+    assert analyzer is not None, "worker pool initializer did not run"
+    stats = SimulationStats()
+    new_entries: Dict[CacheKey, CachedArc] = {}
+    hit_count = 0
+
+    def base(stage_, output, out_direction, switching_input, input_slew):
+        return analyzer.stage_arc(stage_, output, out_direction,
+                                  switching_input,
+                                  input_slew=input_slew, stats=stats)
+
+    arc_fn: ArcFn = base
+    if shipped is not None and form is not None:
+        def cache_get(key: CacheKey):
+            nonlocal hit_count
+            if key in shipped:
+                hit_count += 1
+                return shipped[key]
+            return _MISS
+
+        def cache_put(key: CacheKey, value: CachedArc) -> None:
+            shipped[key] = value
+            new_entries[key] = value
+
+        arc_fn = _cached_arc_fn(base, form, cache_get, cache_put,
+                                bucket)
+    computed = compute_stage_arrivals(stage, snapshot, arc_fn,
+                                      analyzer.propagate_slews,
+                                      analyzer.input_slew)
+    return computed, stats, new_entries, hit_count
+
+
+# ----------------------------------------------------------------------
+# The engine.
+# ----------------------------------------------------------------------
+class ParallelStaEngine:
+    """Schedules one STA run per :class:`ExecutionConfig`.
+
+    Args:
+        analyzer: the configured :class:`StaticTimingAnalyzer` (its
+            technology, options and slew mode define the arc math).
+        config: scheduling/caching policy.
+        cache: optional shared cache instance; when omitted and the
+            config wants caching, a private cache is created (loading
+            ``config.cache_path`` if present).
+    """
+
+    def __init__(self, analyzer: StaticTimingAnalyzer,
+                 config: ExecutionConfig,
+                 cache: Optional[StageResultCache] = None):
+        self.analyzer = analyzer
+        self.config = config
+        if cache is None and config.wants_cache:
+            cache = StageResultCache(max_entries=config.cache_size,
+                                     path=config.cache_path)
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    def run(self, graph: StageGraph,
+            input_arrivals: Optional[Dict[Event, float]] = None
+            ) -> StaResult:
+        """Run STA over the graph; arrivals match the serial engine."""
+        analyzer = self.analyzer
+        primary_slew = (analyzer.input_slew
+                        if analyzer.propagate_slews else None)
+        arrivals, driven = primary_input_arrivals(
+            graph, input_arrivals, primary_slew)
+        with span("sta.levelize", stages=len(graph.stages)):
+            order = list(graph.topological_order())
+        waves = self._wave_indices(graph, order)
+        if waves:
+            set_gauge("sta.parallel.waves", max(waves.values()) + 1)
+
+        forms: Dict[str, Optional[CanonicalForm]] = {}
+        for stage in order:
+            forms[stage.name] = (canonical_form_for(stage, analyzer)
+                                 if self.cache is not None else None)
+
+        if self.config.backend == "serial" or self.config.workers == 1 \
+                or len(order) <= 1:
+            stats_by_stage = self._run_serial(order, arrivals, waves,
+                                              forms)
+        else:
+            stats_by_stage = self._run_pooled(graph, order, arrivals,
+                                              waves, forms)
+
+        stats = SimulationStats()
+        for stage in order:
+            stats.accumulate(stats_by_stage[stage.name])
+        result = finalize_result(arrivals, driven)
+        result.stats = stats
+        if self.cache is not None and self.config.cache_path is not None:
+            self.cache.save(self.config.cache_path)
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _wave_indices(graph: StageGraph, order: List[LogicStage]
+                      ) -> Dict[str, int]:
+        """Levelized wave (longest-path depth) of every stage."""
+        waves: Dict[str, int] = {}
+        for stage in order:
+            preds = [p for p in graph.graph.predecessors(stage.name)
+                     if p != stage.name]
+            waves[stage.name] = (max(waves[p] for p in preds) + 1
+                                 if preds else 0)
+        return waves
+
+    def _run_serial(self, order: List[LogicStage],
+                    arrivals: Dict[Event, ArrivalTime],
+                    waves: Dict[str, int],
+                    forms: Dict[str, Optional[CanonicalForm]]
+                    ) -> Dict[str, SimulationStats]:
+        stats_by_stage: Dict[str, SimulationStats] = {}
+        for stage in order:
+            inc("sta.parallel.dispatch", backend="serial")
+            with span("sta.stage.task", stage=stage.name,
+                      wave=waves[stage.name]):
+                computed, stats = _evaluate_stage(
+                    self.analyzer, stage, arrivals, self.cache,
+                    forms[stage.name],
+                    self.config.cache_slew_bucket)
+            arrivals.update(computed)
+            stats_by_stage[stage.name] = stats
+        return stats_by_stage
+
+    def _make_executor(self) -> Executor:
+        if self.config.backend == "thread":
+            return ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="sta-worker")
+        evaluator = self.analyzer.evaluator
+        return ProcessPoolExecutor(
+            max_workers=self.config.workers,
+            initializer=_process_worker_init,
+            initargs=(self.analyzer.tech, evaluator.library,
+                      evaluator.options, self.analyzer.propagate_slews,
+                      self.analyzer.input_slew))
+
+    def _run_pooled(self, graph: StageGraph, order: List[LogicStage],
+                    arrivals: Dict[Event, ArrivalTime],
+                    waves: Dict[str, int],
+                    forms: Dict[str, Optional[CanonicalForm]]
+                    ) -> Dict[str, SimulationStats]:
+        """Dependency-counting dispatch onto a worker pool.
+
+        A stage is submitted the moment its last fanin stage merges —
+        there is no per-level barrier, so a deep narrow cone and a wide
+        shallow one overlap freely.  The main thread owns ``arrivals``
+        and the cache merge; workers only ever see immutable snapshots.
+        """
+        analyzer = self.analyzer
+        config = self.config
+        stage_names = {stage.name for stage in order}
+        indegree: Dict[str, int] = {}
+        for stage in order:
+            preds = [p for p in graph.graph.predecessors(stage.name)
+                     if p != stage.name and p in stage_names]
+            indegree[stage.name] = len(preds)
+        by_name = {stage.name: stage for stage in order}
+        stats_by_stage: Dict[str, SimulationStats] = {}
+
+        # Per-wave spans: a wave's span opens when its first stage is
+        # dispatched and closes when its last stage merges.
+        wave_pending: Dict[int, int] = {}
+        for name in waves:
+            wave_pending[waves[name]] = wave_pending.get(waves[name],
+                                                         0) + 1
+        wave_spans: Dict[int, object] = {}
+
+        executor = self._make_executor()
+        futures: Dict[object, LogicStage] = {}
+
+        def submit(stage: LogicStage) -> None:
+            wave = waves[stage.name]
+            if wave not in wave_spans:
+                handle = span("sta.wave", index=wave,
+                              stages=wave_pending[wave],
+                              backend=config.backend)
+                handle.__enter__()
+                wave_spans[wave] = handle
+            inc("sta.parallel.dispatch", backend=config.backend)
+            form = forms[stage.name]
+            if config.backend == "thread":
+                future = executor.submit(
+                    _evaluate_stage, analyzer, stage, dict(arrivals),
+                    self.cache, form, config.cache_slew_bucket)
+            else:
+                relevant = set(stage.inputs)
+                relevant.update(node.name for node in stage.outputs)
+                snapshot = {event: arrival
+                            for event, arrival in arrivals.items()
+                            if event[0] in relevant}
+                shipped = (self.cache.entries_for(form.fingerprint)
+                           if self.cache is not None
+                           and form is not None else None)
+                future = executor.submit(
+                    _process_stage_task, stage, snapshot, form,
+                    shipped, config.cache_slew_bucket)
+            futures[future] = stage
+
+        try:
+            for stage in order:
+                if indegree[stage.name] == 0:
+                    submit(stage)
+            while futures:
+                done, _ = wait(list(futures),
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    stage = futures.pop(future)
+                    payload = future.result()
+                    if config.backend == "thread":
+                        computed, stats = payload
+                    else:
+                        computed, stats, new_entries, hit_count = payload
+                        if self.cache is not None:
+                            self.cache.merge(new_entries)
+                            self.cache.record_external(
+                                hit_count, len(new_entries))
+                    arrivals.update(computed)
+                    stats_by_stage[stage.name] = stats
+                    wave = waves[stage.name]
+                    wave_pending[wave] -= 1
+                    if wave_pending[wave] == 0 and wave in wave_spans:
+                        wave_spans.pop(wave).__exit__(None, None, None)
+                    for successor in graph.graph.successors(stage.name):
+                        if successor == stage.name \
+                                or successor not in indegree:
+                            continue
+                        indegree[successor] -= 1
+                        if indegree[successor] == 0:
+                            submit(by_name[successor])
+        finally:
+            for handle in wave_spans.values():
+                handle.__exit__(None, None, None)
+            executor.shutdown(wait=True, cancel_futures=True)
+        return stats_by_stage

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.circuit.elements import DeviceKind
 from repro.circuit.netlist import LogicStage
@@ -33,6 +33,13 @@ from repro.spice.sources import ConstantSource, RampSource, StepSource
 
 #: (net, direction) key; direction is the transition of the net.
 Event = Tuple[str, str]
+
+#: Arc evaluation callback: (stage, output, out_direction, input,
+#: input_slew) -> (delay, output_slew) or None.  The scheduler-agnostic
+#: per-stage arrival computation is written against this signature so
+#: the serial loop and the parallel workers share one implementation.
+ArcFn = Callable[[LogicStage, str, str, str, Optional[float]],
+                 Optional[Tuple[float, Optional[float]]]]
 
 
 @dataclass(frozen=True)
@@ -81,6 +88,108 @@ def _opposite(direction: str) -> str:
     return "fall" if direction == "rise" else "rise"
 
 
+def compute_stage_arrivals(stage: LogicStage,
+                           arrivals: Dict[Event, ArrivalTime],
+                           arc_fn: ArcFn,
+                           propagate_slews: bool,
+                           default_slew: float
+                           ) -> Dict[Event, ArrivalTime]:
+    """Worst arrival of every output event of one stage.
+
+    The single-input-switching recursion for one stage, written against
+    an :data:`ArcFn` so every scheduler (the serial loop, the thread and
+    process workers of :mod:`repro.analysis.parallel`, cached or not)
+    runs exactly the same arithmetic.  ``arrivals`` is only read; newly
+    computed events are visible to later outputs of the *same* stage
+    (matching the serial evaluation order for stages that consume their
+    own outputs), and the caller merges the returned mapping.
+    """
+    computed: Dict[Event, ArrivalTime] = {}
+
+    def lookup(event: Event) -> Optional[ArrivalTime]:
+        hit = computed.get(event)
+        return hit if hit is not None else arrivals.get(event)
+
+    for out_node in stage.outputs:
+        for out_dir in ("rise", "fall"):
+            best: Optional[ArrivalTime] = None
+            in_dir = _opposite(out_dir)
+            for input_name in stage.inputs:
+                src = lookup((input_name, in_dir))
+                if src is None:
+                    continue
+                input_slew = (src.slew or default_slew
+                              if propagate_slews else None)
+                arc = arc_fn(stage, out_node.name, out_dir,
+                             input_name, input_slew)
+                if arc is None:
+                    continue
+                delay, out_slew = arc
+                t = src.time + delay
+                if best is None or t > best.time:
+                    best = ArrivalTime(
+                        net=out_node.name, direction=out_dir,
+                        time=t, cause=(input_name, in_dir),
+                        slew=out_slew if propagate_slews else None)
+            if best is not None:
+                key = (out_node.name, out_dir)
+                existing = lookup(key)
+                if existing is None or best.time > existing.time:
+                    computed[key] = best
+    return computed
+
+
+def primary_input_arrivals(graph: StageGraph,
+                           input_arrivals: Optional[Dict[Event, float]],
+                           primary_slew: Optional[float]
+                           ) -> Tuple[Dict[Event, ArrivalTime], Set[str]]:
+    """Seed arrivals for every primary-input event.
+
+    Returns the arrival map plus the set of stage-driven nets (the
+    candidate endpoints a worst-arrival search ranges over).
+    """
+    arrivals: Dict[Event, ArrivalTime] = {}
+    driven = set(graph.driver_of)
+    primary_inputs = set()
+    for stage in graph.stages:
+        for name in stage.inputs:
+            if name not in driven:
+                primary_inputs.add(name)
+    for net in sorted(primary_inputs):
+        for direction in ("rise", "fall"):
+            t = 0.0
+            if input_arrivals:
+                t = input_arrivals.get((net, direction), 0.0)
+            arrivals[(net, direction)] = ArrivalTime(
+                net, direction, t, slew=primary_slew)
+    return arrivals, driven
+
+
+def finalize_result(arrivals: Dict[Event, ArrivalTime],
+                    driven: Set[str]) -> StaResult:
+    """Pick the worst driven-net arrival and walk its critical path.
+
+    Events are scanned in sorted order so the result is independent of
+    dict insertion order — parallel schedulers merge arrivals in
+    completion order, and exact-tie breaking must not depend on it.
+    """
+    worst: Optional[ArrivalTime] = None
+    for event in sorted(arrivals):
+        arrival = arrivals[event]
+        if event[0] in driven:
+            if worst is None or arrival.time > worst.time:
+                worst = arrival
+    path: List[Event] = []
+    cursor = worst
+    while cursor is not None:
+        path.append((cursor.net, cursor.direction))
+        cursor = (arrivals.get(cursor.cause)
+                  if cursor.cause is not None else None)
+    path.reverse()
+    return StaResult(arrivals=arrivals, worst=worst,
+                     critical_path=path)
+
+
 class StaticTimingAnalyzer:
     """QWM-driven static timing analysis.
 
@@ -95,7 +204,9 @@ class StaticTimingAnalyzer:
                  options: Optional[QWMOptions] = None,
                  propagate_slews: bool = False,
                  input_slew: float = 20e-12,
-                 preflight: bool = False):
+                 preflight: bool = False,
+                 execution: Optional["ExecutionConfig"] = None,
+                 cache: Optional["StageResultCache"] = None):
         """
         Args:
             tech: process technology.
@@ -113,6 +224,14 @@ class StaticTimingAnalyzer:
                 graph (ERC + solver rules) up front and raises
                 :class:`repro.lint.PreflightError` on error-severity
                 findings before evaluating any arc.
+            execution: optional :class:`repro.analysis.parallel.
+                ExecutionConfig`; when given (or when ``cache`` is
+                given), :meth:`analyze` runs through the parallel
+                engine — workers change scheduling only, never the
+                arithmetic, so arrivals match the serial path exactly.
+            cache: optional shared
+                :class:`repro.analysis.parallel.StageResultCache`
+                reused across analyzers/runs for stage-result reuse.
         """
         self.tech = tech
         self.evaluator = WaveformEvaluator(tech, library=library,
@@ -120,6 +239,8 @@ class StaticTimingAnalyzer:
         self.propagate_slews = propagate_slews
         self.input_slew = input_slew
         self.preflight = preflight
+        self.execution = execution
+        self.cache = cache
         # Accumulates per-arc QWM stats while analyze() runs (None
         # outside a run, so standalone stage_arc calls skip it).
         self._run_stats: Optional[SimulationStats] = None
@@ -127,13 +248,20 @@ class StaticTimingAnalyzer:
     # ------------------------------------------------------------------
     def stage_arc(self, stage: LogicStage, output: str,
                   out_direction: str, switching_input: str,
-                  input_slew: Optional[float] = None
+                  input_slew: Optional[float] = None,
+                  stats: Optional[SimulationStats] = None
                   ) -> Optional[Tuple[float, Optional[float]]]:
         """Evaluate one arc: returns (delay, output_slew) or None.
 
         The delay is measured from the switching input's 50% crossing;
         the output slew is the full-swing tangent-ramp time of the QWM
         output waveform (None if unfittable).
+
+        Args:
+            stats: optional accumulator receiving the QWM cost of every
+                solve this arc performs.  Parallel workers pass a local
+                object here; without one the cost lands on the analyzer's
+                current :meth:`analyze` run (not thread-safe).
         """
         vdd = stage.vdd
         rising_in = out_direction == "fall"
@@ -162,7 +290,9 @@ class StaticTimingAnalyzer:
                 inc("sta.stage.solves")
                 # The run total counts every solve actually performed,
                 # including sensitizations rejected just below.
-                if self._run_stats is not None:
+                if stats is not None:
+                    stats.accumulate(candidate.stats)
+                elif self._run_stats is not None:
                     self._run_stats = self._run_stats + candidate.stats
                 # A real arc starts on the far side of mid-rail: if the
                 # DC pre-state already holds the output at its final
@@ -268,6 +398,17 @@ class StaticTimingAnalyzer:
                 library=self.evaluator.library)
             preflight(ctx, what="stage graph",
                       packs=("erc", "solver"))
+        if self.execution is not None or self.cache is not None:
+            from repro.analysis.parallel import (ExecutionConfig,
+                                                 ParallelStaEngine)
+
+            engine = ParallelStaEngine(
+                self, self.execution or ExecutionConfig(),
+                cache=self.cache)
+            with span("sta.analyze", stages=len(graph.stages),
+                      backend=engine.config.backend,
+                      workers=engine.config.workers):
+                return engine.run(graph, input_arrivals)
         self._run_stats = SimulationStats()
         try:
             with span("sta.analyze", stages=len(graph.stages)):
@@ -277,74 +418,40 @@ class StaticTimingAnalyzer:
             self._run_stats = None
         return result
 
+    def serial_arc_fn(self, stats: Optional[SimulationStats] = None
+                      ) -> ArcFn:
+        """The arc evaluator the serial scheduler uses.
+
+        Step mode routes through :meth:`stage_delay` so wrappers that
+        patch it (e.g. :class:`repro.analysis.incremental.
+        IncrementalTimer`) keep intercepting arcs; slew mode goes
+        through :meth:`stage_arc` with the resolved input slew.
+        """
+        def arc_fn(stage: LogicStage, output: str, out_direction: str,
+                   switching_input: str, input_slew: Optional[float]
+                   ) -> Optional[Tuple[float, Optional[float]]]:
+            if self.propagate_slews:
+                return self.stage_arc(stage, output, out_direction,
+                                      switching_input,
+                                      input_slew=input_slew,
+                                      stats=stats)
+            delay = self.stage_delay(stage, output, out_direction,
+                                     switching_input)
+            return None if delay is None else (delay, None)
+        return arc_fn
+
     def _analyze(self, graph: StageGraph,
                  input_arrivals: Optional[Dict[Event, float]]
                  ) -> StaResult:
-        arrivals: Dict[Event, ArrivalTime] = {}
-        driven = set(graph.driver_of)
-        primary_inputs = set()
-        for stage in graph.stages:
-            for name in stage.inputs:
-                if name not in driven:
-                    primary_inputs.add(name)
         primary_slew = self.input_slew if self.propagate_slews else None
-        for net in primary_inputs:
-            for direction in ("rise", "fall"):
-                t = 0.0
-                if input_arrivals:
-                    t = input_arrivals.get((net, direction), 0.0)
-                arrivals[(net, direction)] = ArrivalTime(
-                    net, direction, t, slew=primary_slew)
+        arrivals, driven = primary_input_arrivals(
+            graph, input_arrivals, primary_slew)
 
         with span("sta.levelize", stages=len(graph.stages)):
             order = list(graph.topological_order())
+        arc_fn = self.serial_arc_fn()
         for stage in order:
-            for out_node in stage.outputs:
-                for out_dir in ("rise", "fall"):
-                    best: Optional[ArrivalTime] = None
-                    in_dir = _opposite(out_dir)
-                    for input_name in stage.inputs:
-                        src = arrivals.get((input_name, in_dir))
-                        if src is None:
-                            continue
-                        if self.propagate_slews:
-                            arc = self.stage_arc(
-                                stage, out_node.name, out_dir,
-                                input_name,
-                                input_slew=src.slew or self.input_slew)
-                            if arc is None:
-                                continue
-                            delay, out_slew = arc
-                        else:
-                            delay = self.stage_delay(
-                                stage, out_node.name, out_dir,
-                                input_name)
-                            out_slew = None
-                            if delay is None:
-                                continue
-                        t = src.time + delay
-                        if best is None or t > best.time:
-                            best = ArrivalTime(
-                                net=out_node.name, direction=out_dir,
-                                time=t, cause=(input_name, in_dir),
-                                slew=out_slew)
-                    if best is not None:
-                        key = (out_node.name, out_dir)
-                        existing = arrivals.get(key)
-                        if existing is None or best.time > existing.time:
-                            arrivals[key] = best
-
-        worst: Optional[ArrivalTime] = None
-        for event, arrival in arrivals.items():
-            if event[0] in driven:
-                if worst is None or arrival.time > worst.time:
-                    worst = arrival
-        path: List[Event] = []
-        cursor = worst
-        while cursor is not None:
-            path.append((cursor.net, cursor.direction))
-            cursor = (arrivals.get(cursor.cause)
-                      if cursor.cause is not None else None)
-        path.reverse()
-        return StaResult(arrivals=arrivals, worst=worst,
-                         critical_path=path)
+            arrivals.update(compute_stage_arrivals(
+                stage, arrivals, arc_fn, self.propagate_slews,
+                self.input_slew))
+        return finalize_result(arrivals, driven)

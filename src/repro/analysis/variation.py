@@ -59,17 +59,23 @@ class MonteCarloTiming:
     Args:
         evaluator: QWM evaluator (shared characterized tables).
         width_sigma: relative 1-sigma width variation per device.
-        rng: numpy random generator (seed for reproducibility).
+        rng: numpy random generator; takes precedence over ``seed``.
+        seed: seed for the default generator when ``rng`` is omitted,
+            so a whole run can be reproduced from one integer (the
+            benchmark suite threads its ``--seed`` option through
+            here).
     """
 
     def __init__(self, evaluator: WaveformEvaluator,
                  width_sigma: float = 0.05,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 seed: int = 0):
         if not 0 < width_sigma < 0.3:
             raise ValueError("width_sigma must be in (0, 0.3)")
         self.evaluator = evaluator
         self.width_sigma = width_sigma
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng if rng is not None \
+            else np.random.default_rng(seed)
 
     def run(self, stage: LogicStage, output: str, direction: str,
             inputs: Dict[str, SourceLike], n_samples: int = 200,

@@ -298,6 +298,59 @@ def oai21_gate(tech: Technology, wn: Optional[float] = None,
     return stage
 
 
+def decoder_netlist(tech: Technology, bits: int = 2,
+                    load: float = DEFAULT_LOAD) -> FlatNetlist:
+    """A static ``bits``-to-``2**bits`` address decoder, as a flat netlist.
+
+    The standard NAND/inverter decoder: one inverter per address bit
+    produces the complement, each of the ``2**bits`` word lines is a
+    ``bits``-input NAND followed by an output inverter.  Every NAND and
+    every output inverter is geometrically identical, so the stage graph
+    is dominated by repeated gate configurations — the workload the
+    stage-result cache of :mod:`repro.analysis.parallel` is built for —
+    and the word lines are mutually independent, giving the scheduler
+    ``2**bits`` parallel cones.
+
+    Inputs ``a0..a{bits-1}``; outputs ``w0..w{2**bits-1}`` (word line
+    ``wj`` selects address ``j``, LSB = ``a0``).
+    """
+    if bits < 1:
+        raise ValueError("decoder_netlist needs at least 1 address bit")
+    wn, wp = _min_widths(tech)
+    net = FlatNetlist(f"decoder{bits}", vdd=tech.vdd)
+    for b in range(bits):
+        net.mark_input(f"a{b}")
+        net.add_pmos(f"MPI{b}", gate=f"a{b}", src=VDD_NODE,
+                     snk=f"a{b}b", w=wp, l=tech.lmin)
+        net.add_nmos(f"MNI{b}", gate=f"a{b}", src=f"a{b}b",
+                     snk=GND_NODE, w=wn, l=tech.lmin)
+    for j in range(2 ** bits):
+        word = f"w{j}"
+        nand = f"n{j}"
+        # bits-input NAND over the true/complement address lines.
+        upper = nand
+        for b in range(bits - 1, 0, -1):
+            gate = f"a{b}" if (j >> b) & 1 else f"a{b}b"
+            net.add_nmos(f"MN{j}_{b}", gate=gate, src=upper,
+                         snk=f"n{j}_{b}", w=wn, l=tech.lmin)
+            upper = f"n{j}_{b}"
+        gate0 = "a0" if j & 1 else "a0b"
+        net.add_nmos(f"MN{j}_0", gate=gate0, src=upper, snk=GND_NODE,
+                     w=wn, l=tech.lmin)
+        for b in range(bits):
+            gate = f"a{b}" if (j >> b) & 1 else f"a{b}b"
+            net.add_pmos(f"MP{j}_{b}", gate=gate, src=VDD_NODE,
+                         snk=nand, w=wp, l=tech.lmin)
+        # Word-line output inverter.
+        net.add_pmos(f"MPW{j}", gate=nand, src=VDD_NODE, snk=word,
+                     w=wp, l=tech.lmin)
+        net.add_nmos(f"MNW{j}", gate=nand, src=word, snk=GND_NODE,
+                     w=wn, l=tech.lmin)
+        net.mark_output(word)
+        net.set_load(word, load)
+    return net
+
+
 def pass_transistor_netlist(tech: Technology,
                             load: float = DEFAULT_LOAD) -> FlatNetlist:
     """Fig. 1 (Example 1): NAND2 + pass transistor + wire, as a flat netlist.

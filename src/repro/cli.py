@@ -7,7 +7,10 @@ Commands
     Parse a SPICE-style deck, extract logic stages, run QWM-driven
     longest-path STA, and print the arrival/critical-path reports.
     ``--required 500p`` adds slack; ``--corners`` re-times at the
-    process corners.
+    process corners.  ``--workers 4 --backend thread`` evaluates
+    stages on a worker pool (identical arrivals, see
+    :mod:`repro.analysis.parallel`); ``--cache`` / ``--cache-file``
+    reuse solved arcs across isomorphic stages and runs.
 
 ``simulate DECK.sp --input a=step:0:3.3:20p --node out``
     Transient-simulate a single-stage deck with the reference engine
@@ -22,6 +25,13 @@ Commands
     ``--format json`` emits a machine-readable report, ``--models``
     additionally characterizes and lints the device tables,
     ``--disable ERC005`` / ``--severity ERC007=error`` tune rules.
+
+``golden [--update]``
+    Differential QWM-vs-SPICE suite: re-measure every stored golden
+    case with QWM and compare against the stored reference-simulator
+    numbers (exit 1 outside the tolerance bands).  ``--update``
+    re-runs *both* engines over the slew x load grid and rewrites
+    ``tests/golden/*.json``.
 
 ``stats [DECK.sp]``
     Evaluate one transition with QWM under full telemetry and print a
@@ -90,14 +100,38 @@ def parse_source_spec(spec: str) -> (str, Source):
 
 
 def _cmd_sta(args: argparse.Namespace) -> int:
+    from repro.analysis.parallel import ExecutionConfig, StageResultCache
+
     tech = CMOSP35
     with open(args.deck) as handle:
         text = handle.read()
     required = parse_value(args.required) if args.required else None
 
+    parallel = (args.workers > 1 or args.backend != "serial"
+                or args.cache or args.cache_file)
+    execution = None
+    cache = None
+    if parallel:
+        execution = ExecutionConfig(
+            workers=args.workers, backend=args.backend,
+            cache=bool(args.cache or args.cache_file),
+            cache_path=args.cache_file)
+        if execution.wants_cache:
+            # Built here (not inside the engine) so corner re-timing
+            # shares one cache and the hit/miss totals can be printed.
+            cache = StageResultCache(max_entries=execution.cache_size,
+                                     path=args.cache_file)
+
     def run(technology):
         netlist = parse_spice_netlist(text, technology, name=args.deck)
         graph = extract_stages(netlist, tech=technology)
+        if parallel:
+            from repro.analysis import StaticTimingAnalyzer
+
+            analyzer = StaticTimingAnalyzer(technology,
+                                            execution=execution,
+                                            cache=cache)
+            return graph, analyzer.analyze(graph)
         timer = IncrementalTimer(technology, graph)
         return graph, timer.analyze()
 
@@ -116,6 +150,12 @@ def _cmd_sta(args: argparse.Namespace) -> int:
                 delays[name] = corner_result.worst.time
         print()
         print(corner_report(delays))
+    if cache is not None:
+        print()
+        print(f"stage cache: {cache.hits} hits / {cache.misses} misses"
+              f" ({len(cache)} entries)")
+        if args.cache_file:
+            print(f"stage cache stored at {args.cache_file}")
     if required is not None and result.worst is not None \
             and result.worst.time > required:
         return 1
@@ -358,6 +398,34 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_golden(args: argparse.Namespace) -> int:
+    from repro.analysis import golden
+
+    tech = CMOSP35
+    directory = args.dir or golden.default_golden_dir()
+    if args.update:
+        print(f"regenerating golden records (QWM + reference SPICE "
+              f"over {len(golden.golden_cases())} cases)...")
+        records = golden.generate(
+            tech, progress=lambda r: print(f"  {r.case.name}: "
+                                           f"delta {r.delay_error_pct:.2f}%"))
+        paths = golden.save(records, directory)
+        over = [r for r in records
+                if r.delay_error_pct > golden.DELAY_TOLERANCE_PCT]
+        for record in over:
+            print(f"warning: {record.case.name} generated "
+                  f"{record.delay_error_pct:.2f}% over the "
+                  f"{golden.DELAY_TOLERANCE_PCT:.1f}% band",
+                  file=sys.stderr)
+        print(f"wrote {len(records)} cases to {len(paths)} files "
+              f"under {directory}")
+        return 1 if over else 0
+    records = golden.load(directory)
+    diffs = golden.check(records, tech)
+    print(golden.format_report(diffs))
+    return 0 if all(d.ok for d in diffs) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -379,6 +447,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also time the process corners")
     sta.add_argument("--limit", type=int, default=20,
                      help="arrival-report row limit")
+    sta.add_argument("--workers", type=int, default=1,
+                     help="worker-pool size for stage evaluation "
+                          "(arrivals are identical to serial)")
+    sta.add_argument("--backend", default="serial",
+                     choices=["serial", "thread", "process"],
+                     help="execution backend for --workers > 1")
+    sta.add_argument("--cache", action="store_true",
+                     help="enable the in-memory stage-result cache "
+                          "(isomorphic stages share solved arcs)")
+    sta.add_argument("--cache-file", metavar="FILE", default=None,
+                     help="persist the stage cache to a JSON store "
+                          "(implies --cache; loaded before the run)")
     sta.set_defaults(func=_cmd_sta)
 
     sim = sub.add_parser("simulate",
@@ -442,6 +522,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the breakdown and raw metrics as "
                             "JSON")
     stats.set_defaults(func=_cmd_stats)
+
+    gold = sub.add_parser("golden",
+                          help="differential QWM-vs-SPICE golden suite")
+    gold.add_argument("--update", action="store_true",
+                      help="re-run both engines over the grid and "
+                           "rewrite the stored records (slow)")
+    gold.add_argument("--dir", default=None,
+                      help="golden directory (default: tests/golden)")
+    gold.set_defaults(func=_cmd_golden)
     return parser
 
 

@@ -22,7 +22,8 @@ Module map:
 
 from repro.core.waveforms import PiecewiseQuadraticWaveform, QuadraticPiece
 from repro.core.path import DischargePath, PathDevice, extract_path
-from repro.core.matching import CrossingCondition, RegionSystem, TurnOnCondition
+from repro.core.matching import (CrossingCondition, RegionSystem,
+                                 TimeCondition, TurnOnCondition)
 from repro.core.qwm import QWMOptions, QWMSolution, QWMSolver
 from repro.core.engine import WaveformEvaluator
 
@@ -33,6 +34,7 @@ __all__ = [
     "PathDevice",
     "extract_path",
     "CrossingCondition",
+    "TimeCondition",
     "RegionSystem",
     "TurnOnCondition",
     "QWMOptions",

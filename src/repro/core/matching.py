@@ -64,6 +64,18 @@ class CrossingCondition:
     target: float
 
 
+@dataclass(frozen=True)
+class TimeCondition:
+    """Region ends at the fixed instant ``t_end``.
+
+    Used to anchor a region boundary on an input-waveform break (a ramp
+    ending, a step firing): the Miller injection of a moving gate is
+    discontinuous there, so the quadratic link must not span it.
+    """
+
+    t_end: float
+
+
 class RegionSystem:
     """Assembles and solves one region's matching equations.
 
@@ -224,6 +236,10 @@ class RegionSystem:
             f[m] = u_new[m - 1] - self.condition.target
             lower[m - 1] = 1.0
             diag[m] = 0.0
+        elif isinstance(self.condition, TimeCondition):
+            f[m] = tau_new - self.condition.t_end
+            lower[m - 1] = 0.0
+            diag[m] = 1.0
         else:
             idx = self.condition.device_index
             device = path.devices[idx - 1]

@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.matching import (
     CrossingCondition,
     RegionSystem,
+    TimeCondition,
     TurnOnCondition,
 )
 from repro.circuit.elements import DeviceKind
@@ -333,6 +334,41 @@ class QWMSolver:
         # Phase 3: milestone matching on the output node.
         # ------------------------------------------------------------
         if frontier == k_total:
+            # While an input is still ramping, match at fixed instants
+            # subdividing the rest of the ramp.  Device current grows
+            # convexly with the gate overdrive, so a single region whose
+            # linear-in-time current is pinned at the endpoints
+            # overestimates the discharged charge; short time-anchored
+            # regions bound that error, and no milestone region is left
+            # spanning the ramp-end break where the Miller injection
+            # switches off discontinuously.
+            floor = min(opts.milestone_fractions) * path.vdd
+            brk = self._next_input_break(sources, tau)
+            while (brk is not None and brk < opts.t_stop
+                   and u[k_total - 1] > floor + 1e-6):
+                n_sub = max(2 * opts.cascade_substeps, 2)
+                ramp_start = tau
+                ok = True
+                for j in range(1, n_sub + 1):
+                    t_j = ramp_start + (brk - ramp_start) * j / n_sub
+                    if t_j <= tau + 1e-15:
+                        continue
+                    solved = self._solve_region(sources, k_total, tau,
+                                                u, i, TimeCondition(t_j),
+                                                stats, meter)
+                    if solved is None:
+                        ok = False
+                        break
+                    tau_new, u_new, i_new, caps_used, order_used = solved
+                    record(tau, tau_new, u_new, i_new, active=k_total,
+                           caps=caps_used, order=order_used)
+                    u[:] = u_new
+                    i[:] = i_new
+                    tau = tau_new
+                    critical_times.append(tau)
+                if not ok:
+                    break
+                brk = self._next_input_break(sources, tau)
             worklist = [f * path.vdd for f in opts.milestone_fractions]
             # Deep-tail targets can sit arbitrarily close to the slow
             # exponential floor; a bounded failure budget keeps a few
@@ -345,6 +381,22 @@ class QWMSolver:
                 condition = CrossingCondition(target)
                 solved = self._solve_region(sources, k_total, tau, u, i,
                                             condition, stats, meter)
+                # An input-waveform break (a ramp ending) inside the
+                # region makes the Miller-injection term discontinuous,
+                # which the quadratic link cannot represent — for fast
+                # ramps Newton fails outright or converges onto a
+                # spurious slow root on the far side.  On failure,
+                # anchor a region exactly at the break and retry the
+                # milestone from the settled input.
+                if solved is None:
+                    brk = self._next_input_break(sources, tau)
+                    if brk is not None and brk < opts.t_stop:
+                        anchored = self._solve_region(
+                            sources, k_total, tau, u, i,
+                            TimeCondition(brk), stats, meter)
+                        if anchored is not None:
+                            solved = anchored
+                            worklist.insert(0, target)
                 if solved is None:
                     failure_budget -= 1
                     # Split the crossing: aim for the midpoint first.
@@ -458,6 +510,17 @@ class QWMSolver:
                 lo = mid
         return hi
 
+    def _next_input_break(self, sources, t: float) -> Optional[float]:
+        """Earliest upcoming waveform break over the path's gates."""
+        earliest = None
+        for device in self.path.devices:
+            if not device.is_transistor:
+                continue
+            brk = sources[device.gate].next_break(t)
+            if brk is not None and (earliest is None or brk < earliest):
+                earliest = brk
+        return earliest
+
     def _initial_guess(self, sources, active: int, tau: float,
                        u: np.ndarray, i: np.ndarray, condition,
                        scale: float = 1.0) -> np.ndarray:
@@ -478,6 +541,16 @@ class QWMSolver:
             (currents[k + 1] - currents[k]) / path.node_caps[k - 1]
             for k in range(1, active + 1)])
 
+        if isinstance(condition, TimeCondition):
+            # The end time is pinned; only the voltages are unknown.
+            delta0 = max(condition.t_end - tau, 1e-14) * scale
+            guess = np.empty(active + 1)
+            for k in range(active):
+                guess[k] = float(np.clip(u[k] + rates[k] * delta0,
+                                         0.0, u[k]))
+            self._couple_wire_nodes(guess, u, active)
+            guess[active] = condition.t_end
+            return guess
         if isinstance(condition, CrossingCondition):
             target = condition.target
         else:
@@ -518,6 +591,27 @@ class QWMSolver:
             # Crude RC estimate from the bottom device's on current.
             i_on = max(abs(currents[1]), 1e-7)
             delta0 = abs(gap) * path.node_caps[active - 1] / i_on + 1e-13
+        # A still-ramping bottom gate makes both estimates above badly
+        # pessimistic: the start-of-region current is barely above
+        # threshold, so the implied rate is orders of magnitude below
+        # the drive the region will actually see, ballooning the seed
+        # toward the clamp and stranding Newton far past the crossing.
+        # Bound the seed by "rest of the ramp, then traverse the gap at
+        # the fully-ramped current".
+        bottom = path.devices[0]
+        if bottom.is_transistor \
+                and abs(sources[bottom.gate].slope(tau)) > 1e6:
+            gate_end = sources[bottom.gate].value(self.options.t_stop)
+            i_end, _, _, _ = bottom.frame_current(gate_end, 0.0, u[0],
+                                                  vdd)
+            if abs(i_end) > 1e-7:
+                ramp_left = (abs(gate_end
+                                 - sources[bottom.gate].value(tau))
+                             / abs(sources[bottom.gate].slope(tau)))
+                delta_on = (ramp_left
+                            + abs(gap) * path.node_caps[active - 1]
+                            / abs(i_end) + 1e-13)
+                delta0 = min(delta0, delta_on)
         delta0 *= scale
         delta0 = min(max(delta0, 1e-14), 2e-9)
 

@@ -123,6 +123,12 @@ class NewtonSolver:
         f = np.asarray(residual(x), dtype=float)
         evals = 1
         fnorm = _inf_norm(f)
+        if not np.isfinite(fnorm):
+            raise NewtonConvergenceError(
+                "non-finite residual at the initial guess",
+                last_x=x,
+                last_residual_norm=fnorm,
+            )
 
         for iteration in range(1, opts.max_iterations + 1):
             if fnorm <= opts.abstol:
@@ -141,6 +147,12 @@ class NewtonSolver:
                     last_x=x,
                     last_residual_norm=fnorm,
                 ) from exc
+            if not np.all(np.isfinite(step)):
+                raise NewtonConvergenceError(
+                    f"non-finite Newton step at iteration {iteration}",
+                    last_x=x,
+                    last_residual_norm=fnorm,
+                )
             step *= opts.damping
             if opts.max_step is not None:
                 step = np.clip(step, -opts.max_step, opts.max_step)
@@ -149,6 +161,12 @@ class NewtonSolver:
             f_new = np.asarray(residual(x_new), dtype=float)
             evals += 1
             fnorm_new = _inf_norm(f_new)
+            if not np.isfinite(fnorm_new):
+                raise NewtonConvergenceError(
+                    f"non-finite residual at iteration {iteration}",
+                    last_x=x,
+                    last_residual_norm=fnorm,
+                )
 
             if opts.line_search and fnorm_new > fnorm and fnorm_new > opts.abstol:
                 shrink = 0.5

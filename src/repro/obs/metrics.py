@@ -69,6 +69,16 @@ CATALOG: Dict[str, Tuple[str, str, Optional[Tuple[float, ...]]]] = {
     "sta.stage.wall_seconds": (
         "histogram", "wall time per STA stage (all arcs)",
         WALL_SECONDS_BUCKETS),
+    "sta.cache": (
+        "counter", "stage-result cache lookups by result label", None),
+    "sta.cache.entries": (
+        "gauge", "stage-result cache occupancy (entries)", None),
+    "sta.parallel.dispatch": (
+        "counter", "stage tasks dispatched to the STA scheduler, by "
+                   "backend label", None),
+    "sta.parallel.waves": (
+        "gauge", "levelized wave count of the last scheduled STA run",
+        None),
     "spice.steps": (
         "counter", "accepted reference-engine time steps", None),
     "spice.newton.iterations": (

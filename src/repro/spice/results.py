@@ -36,6 +36,19 @@ class SimulationStats:
             wall_time=self.wall_time + other.wall_time,
         )
 
+    def accumulate(self, other: "SimulationStats") -> "SimulationStats":
+        """Add another run's counters into *this* object (returns self).
+
+        The in-place variant of :meth:`merge`; parallel STA workers fold
+        per-arc stats into one local accumulator with it, so counter
+        aggregation never depends on shared mutable state.
+        """
+        self.steps += other.steps
+        self.newton_iterations += other.newton_iterations
+        self.device_evaluations += other.device_evaluations
+        self.wall_time += other.wall_time
+        return self
+
     def __add__(self, other: object) -> "SimulationStats":
         if not isinstance(other, SimulationStats):
             return NotImplemented

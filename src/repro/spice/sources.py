@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 
 class Source:
@@ -23,6 +23,17 @@ class Source:
         """
         h = 1e-15
         return (self.value(t + h) - self.value(t - h)) / (2.0 * h)
+
+    def next_break(self, t: float) -> Optional[float]:
+        """The next instant after ``t`` where the waveform description
+        changes segment (a ramp ends, a step fires), or None when the
+        source is a single segment from ``t`` on.
+
+        QWM treats these instants as critical points: the Miller
+        injection of a moving gate is discontinuous across them, so a
+        solve region must not span one.
+        """
+        return None
 
     def __call__(self, t: float) -> float:
         return self.value(t)
@@ -60,6 +71,9 @@ class StepSource(Source):
     def slope(self, t: float) -> float:
         return 0.0
 
+    def next_break(self, t: float) -> Optional[float]:
+        return self.t_step if t < self.t_step else None
+
 
 @dataclass(frozen=True)
 class RampSource(Source):
@@ -86,6 +100,13 @@ class RampSource(Source):
         if self.t_start < t < self.t_start + self.t_rise:
             return (self.v1 - self.v0) / self.t_rise
         return 0.0
+
+    def next_break(self, t: float) -> Optional[float]:
+        if t < self.t_start:
+            return self.t_start
+        if t < self.t_start + self.t_rise:
+            return self.t_start + self.t_rise
+        return None
 
 
 @dataclass(frozen=True)
@@ -116,6 +137,23 @@ class PulseSource(Source):
             return self.v1 + (self.v0 - self.v1) * local / self.fall
         return self.v0
 
+    def next_break(self, t: float) -> Optional[float]:
+        edges = [self.delay, self.delay + self.rise,
+                 self.delay + self.rise + self.width,
+                 self.delay + self.rise + self.width + self.fall]
+        if self.period > 0:
+            cycle = max(0.0, t - self.delay) // self.period
+            for shift in (cycle * self.period,
+                          (cycle + 1) * self.period):
+                for edge in edges:
+                    if edge + shift > t:
+                        return edge + shift
+            return None
+        for edge in edges:
+            if edge > t:
+                return edge
+        return None
+
 
 class PWLSource(Source):
     """Piecewise-linear source from ``(time, value)`` breakpoints."""
@@ -139,6 +177,10 @@ class PWLSource(Source):
         lo = hi - 1
         frac = (t - times[lo]) / (times[hi] - times[lo])
         return values[lo] + (values[hi] - values[lo]) * frac
+
+    def next_break(self, t: float) -> Optional[float]:
+        idx = bisect.bisect_right(self.times, t)
+        return self.times[idx] if idx < len(self.times) else None
 
 
 SourceLike = Union[Source, float, int]

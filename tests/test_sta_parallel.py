@@ -1,0 +1,253 @@
+"""Parallel STA engine: determinism, canonical forms, and the cache.
+
+The contract under test is the one DESIGN.md states: workers and the
+stage-result cache change *scheduling only*, never the arithmetic — a
+parallel run's arrivals are bit-identical to the serial engine's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import StaticTimingAnalyzer
+from repro.analysis.parallel import (
+    CanonicalForm,
+    ExecutionConfig,
+    ParallelStaEngine,
+    StageResultCache,
+    arc_cache_key,
+    canonical_stage_form,
+    canonical_form_for,
+    quantize_slew,
+    stage_fingerprint,
+)
+from repro.circuit import builders, extract_stages
+
+
+@pytest.fixture(scope="module")
+def decoder_graph(tech):
+    return extract_stages(builders.decoder_netlist(tech, bits=2),
+                          tech=tech)
+
+
+@pytest.fixture(scope="module")
+def serial_result(tech, library, decoder_graph):
+    analyzer = StaticTimingAnalyzer(tech, library=library)
+    return analyzer.analyze(decoder_graph)
+
+
+@pytest.fixture(scope="module")
+def warm_cache(tech, library, decoder_graph):
+    """A cache pre-filled by one engine run (shared to bound runtime)."""
+    cache = StageResultCache()
+    analyzer = StaticTimingAnalyzer(
+        tech, library=library,
+        execution=ExecutionConfig(cache=True), cache=cache)
+    analyzer.analyze(decoder_graph)
+    return cache
+
+
+def assert_same_arrivals(result, reference):
+    assert set(result.arrivals) == set(reference.arrivals)
+    for event, arrival in reference.arrivals.items():
+        other = result.arrivals[event]
+        # Bit-identical, not approximately equal: the engines must run
+        # the same arithmetic in the same order per arc.
+        assert other.time == arrival.time, event
+        assert other.direction == arrival.direction
+    assert (result.worst is None) == (reference.worst is None)
+    if reference.worst is not None:
+        assert result.worst.time == reference.worst.time
+
+
+# ----------------------------------------------------------------------
+# Determinism across backends, worker counts and cache settings.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend,workers", [
+    ("serial", 1),
+    ("thread", 1),
+    ("thread", 2),
+    ("thread", 4),
+    pytest.param("process", 2, marks=pytest.mark.slow),
+])
+def test_parallel_matches_serial(tech, library, decoder_graph,
+                                 serial_result, backend, workers):
+    analyzer = StaticTimingAnalyzer(
+        tech, library=library,
+        execution=ExecutionConfig(workers=workers, backend=backend))
+    assert_same_arrivals(analyzer.analyze(decoder_graph), serial_result)
+
+
+@pytest.mark.parametrize("backend,workers", [
+    ("serial", 1),
+    ("thread", 2),
+    pytest.param("process", 2, marks=pytest.mark.slow),
+])
+def test_cached_run_matches_serial(tech, library, decoder_graph,
+                                   serial_result, warm_cache, backend,
+                                   workers):
+    analyzer = StaticTimingAnalyzer(
+        tech, library=library,
+        execution=ExecutionConfig(workers=workers, backend=backend,
+                                  cache=True),
+        cache=warm_cache)
+    assert_same_arrivals(analyzer.analyze(decoder_graph), serial_result)
+
+
+def test_warm_cache_skips_solves(tech, library, decoder_graph,
+                                 warm_cache):
+    analyzer = StaticTimingAnalyzer(
+        tech, library=library,
+        execution=ExecutionConfig(cache=True), cache=warm_cache)
+    result = analyzer.analyze(decoder_graph)
+    # Every arc is served from the cache: no QWM regions are solved.
+    assert result.stats.steps == 0
+
+
+def test_cache_shares_isomorphic_stages(tech, library, decoder_graph):
+    cache = StageResultCache()
+    analyzer = StaticTimingAnalyzer(
+        tech, library=library,
+        execution=ExecutionConfig(cache=True), cache=cache)
+    analyzer.analyze(decoder_graph)
+    # The decoder instantiates one inverter and one NAND shape many
+    # times; canonical keying folds them onto few fingerprints.
+    fingerprints = {canonical_form_for(s, analyzer).fingerprint
+                    for s in decoder_graph.stages}
+    assert len(fingerprints) < len(decoder_graph.stages)
+    assert cache.hits > 0
+
+
+def test_cache_path_persists_results(tech, library, decoder_graph,
+                                     tmp_path):
+    store = str(tmp_path / "stage_cache.json")
+    first = StaticTimingAnalyzer(
+        tech, library=library,
+        execution=ExecutionConfig(cache=True, cache_path=store))
+    cold = first.analyze(decoder_graph)
+    assert cold.stats.steps > 0
+
+    reloaded = StageResultCache(path=store)
+    assert len(reloaded) > 0
+    second = StaticTimingAnalyzer(
+        tech, library=library,
+        execution=ExecutionConfig(cache=True), cache=reloaded)
+    warm = second.analyze(decoder_graph)
+    assert warm.stats.steps == 0
+    assert_same_arrivals(warm, cold)
+
+
+# ----------------------------------------------------------------------
+# Canonical stage forms.
+# ----------------------------------------------------------------------
+def _renamed_inverter(tech, load, prefix):
+    """An inverter with all nets/devices renamed (same electrically)."""
+    from repro.circuit.netlist import GND_NODE, VDD_NODE, LogicStage
+
+    wn = 2.0 * tech.wmin
+    wp = 4.0 * tech.wmin
+    stage = LogicStage(f"{prefix}gate", vdd=tech.vdd)
+    stage.add_pmos(f"{prefix}P", src=VDD_NODE, snk=f"{prefix}out",
+                   gate=f"{prefix}in", w=wp, l=tech.lmin)
+    stage.add_nmos(f"{prefix}N", src=f"{prefix}out", snk=GND_NODE,
+                   gate=f"{prefix}in", w=wn, l=tech.lmin)
+    stage.mark_output(f"{prefix}out")
+    stage.set_load(f"{prefix}out", load)
+    return stage
+
+
+def test_canonical_form_ignores_names(tech):
+    a = canonical_stage_form(_renamed_inverter(tech, 5e-15, "x_"))
+    b = canonical_stage_form(_renamed_inverter(tech, 5e-15, "zz"))
+    assert isinstance(a, CanonicalForm)
+    assert a.fingerprint == b.fingerprint
+    # The canonical ids map different actual names onto the same slots.
+    assert a.net_ids["x_out"] == b.net_ids["zzout"]
+    assert a.input_ids["x_in"] == b.input_ids["zzin"]
+
+
+def test_canonical_form_sees_geometry_and_load(tech):
+    base = canonical_stage_form(_renamed_inverter(tech, 5e-15, "a"))
+    other_load = canonical_stage_form(_renamed_inverter(tech, 9e-15, "a"))
+    assert base.fingerprint != other_load.fingerprint
+
+    wide = _renamed_inverter(tech, 5e-15, "a")
+    for edge in wide.edges:
+        edge.w = edge.w * 2.0
+    assert canonical_stage_form(wide).fingerprint != base.fingerprint
+
+
+def test_fingerprint_depends_on_solver_context(tech, library):
+    from repro.core import QWMOptions
+
+    stage = builders.inverter(tech)
+    a1 = StaticTimingAnalyzer(tech, library=library)
+    a2 = StaticTimingAnalyzer(tech, library=library,
+                              options=QWMOptions(waveform_order=1))
+    assert stage_fingerprint(stage, a1) != stage_fingerprint(stage, a2)
+
+
+# ----------------------------------------------------------------------
+# Cache mechanics.
+# ----------------------------------------------------------------------
+def test_cache_lru_eviction():
+    cache = StageResultCache(max_entries=2)
+    k1 = arc_cache_key("fp1", "out", "fall", "a", None)
+    k2 = arc_cache_key("fp2", "out", "fall", "a", None)
+    k3 = arc_cache_key("fp3", "out", "fall", "a", None)
+    cache.put(k1, (1e-12, None))
+    cache.put(k2, (2e-12, None))
+    assert StageResultCache.found(cache.get(k1))  # refresh k1
+    cache.put(k3, (3e-12, None))  # evicts k2 (least recently used)
+    assert StageResultCache.found(cache.get(k1))
+    assert not StageResultCache.found(cache.get(k2))
+    assert StageResultCache.found(cache.get(k3))
+
+
+def test_cache_stores_negative_results():
+    cache = StageResultCache()
+    key = arc_cache_key("fp", "out", "rise", "b", 2e-11)
+    cache.put(key, None)  # arc proven unsensitizable
+    value = cache.get(key)
+    assert StageResultCache.found(value)
+    assert value is None
+
+
+def test_cache_roundtrip_json(tmp_path):
+    cache = StageResultCache(path=str(tmp_path / "c.json"))
+    cache.put(arc_cache_key("fp", "out", "fall", "a", 1e-11),
+              (4.2e-11, 6.0e-11))
+    cache.put(arc_cache_key("fp", "out", "rise", "a", None), None)
+    cache.save()
+
+    other = StageResultCache(path=str(tmp_path / "c.json"))
+    assert len(other) == 2
+    hit = other.get(arc_cache_key("fp", "out", "fall", "a", 1e-11))
+    assert hit == (4.2e-11, 6.0e-11)
+
+
+def test_quantize_slew_buckets():
+    assert quantize_slew(None, 5e-12) is None
+    assert quantize_slew(2.3e-11, None) == 2.3e-11
+    assert quantize_slew(2.3e-11, 5e-12) == pytest.approx(2.5e-11)
+    assert quantize_slew(2.2e-11, 5e-12) == pytest.approx(2.0e-11)
+
+
+def test_execution_config_validation():
+    with pytest.raises(ValueError):
+        ExecutionConfig(backend="gpu")
+    with pytest.raises(ValueError):
+        ExecutionConfig(workers=0)
+    with pytest.raises(ValueError):
+        ExecutionConfig(cache_slew_bucket=-1e-12)
+    assert ExecutionConfig(cache_path="x.json").wants_cache
+    assert not ExecutionConfig().wants_cache
+
+
+def test_engine_reports_dispatch_waves(tech, library, decoder_graph):
+    analyzer = StaticTimingAnalyzer(
+        tech, library=library,
+        execution=ExecutionConfig(workers=2, backend="thread"))
+    engine = ParallelStaEngine(analyzer, analyzer.execution)
+    result = engine.run(decoder_graph)
+    assert result.worst is not None
+    assert np.isfinite(result.worst.time)
