@@ -21,6 +21,7 @@ import numpy as np
 import pytest
 
 from benchmarks.harness import (
+    append_history,
     compare_engines,
     format_table,
     gate_inputs,
@@ -79,6 +80,13 @@ def test_headline_aggregate(benchmark, tech, evaluator):
                   report.worst_error_percent)
         set_gauge("bench.headline.circuits", len(rows))
         save_metrics("BENCH_headline.json")
+        append_history("headline", {
+            "mean_speedup_1ps": mean_speedup,
+            "accuracy_percent": report.accuracy_percent,
+            "worst_error_percent": report.worst_error_percent,
+            "circuits": len(rows),
+            "qwm_total_seconds": float(sum(r.qwm_time for r in rows)),
+        })
     finally:
         disable()
 

@@ -9,7 +9,10 @@ and also written under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -30,6 +33,11 @@ from repro.spice import (
 T_SWITCH = 20e-12
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Append-only run ledger: one JSON line per benchmark run (git SHA,
+#: timestamp, headline metrics).  ``repro bench-diff`` compares the
+#: last two entries and flags >10 % regressions.
+HISTORY_FILE = os.path.join(RESULTS_DIR, "BENCH_history.jsonl")
 
 
 @dataclass
@@ -181,6 +189,61 @@ def save_metrics(filename: str) -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, filename)
     return telemetry().export_metrics(path)
+
+
+def _git_sha() -> str:
+    """HEAD commit of the repo this file lives in ("unknown" outside git)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10)
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def append_history(run: str, metrics: Dict[str, float],
+                   path: Optional[str] = None) -> str:
+    """Append one run entry to the benchmark history ledger.
+
+    Args:
+        run: benchmark name (``"headline"``).
+        metrics: headline metric name -> value for this run.
+        path: history file override (default :data:`HISTORY_FILE`).
+
+    Returns:
+        The history file path.
+    """
+    path = path or HISTORY_FILE
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    entry = {
+        "run": run,
+        "git_sha": _git_sha(),
+        "timestamp_unix": time.time(),
+        "smoke": bool(os.environ.get("BENCH_SMOKE")),
+        "metrics": {name: float(value)
+                    for name, value in sorted(metrics.items())},
+    }
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(path: Optional[str] = None) -> List[Dict]:
+    """All entries of the benchmark history ledger (oldest first)."""
+    path = path or HISTORY_FILE
+    if not os.path.exists(path):
+        return []
+    entries = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -336,16 +336,49 @@ class GoldenDiff:
 def check(records: Sequence[GoldenRecord], tech: Technology,
           evaluator: Optional[WaveformEvaluator] = None
           ) -> List[GoldenDiff]:
-    """Re-measure every case with QWM against its stored SPICE numbers."""
+    """Re-measure every case with QWM against its stored SPICE numbers.
+
+    When the flight recorder is capturing bundles, every band
+    violation triggers a forced re-evaluation of the offending case so
+    a self-contained debug bundle (netlist, table slices, ledger) lands
+    in the configured bundle directory for offline replay.
+    """
     if evaluator is None:
         evaluator = WaveformEvaluator(tech,
                                       library=TableModelLibrary(tech))
     diffs = []
     for record in records:
         delay, slew = qwm_measure(record.case, tech, evaluator)
-        diffs.append(GoldenDiff(record=record, fresh_delay=delay,
-                                fresh_slew=slew))
+        diff = GoldenDiff(record=record, fresh_delay=delay,
+                          fresh_slew=slew)
+        if not diff.ok:
+            _capture_violation(diff, tech, evaluator)
+        diffs.append(diff)
     return diffs
+
+
+def _capture_violation(diff: GoldenDiff, tech: Technology,
+                       evaluator: WaveformEvaluator) -> None:
+    """Re-run a failing case under forced bundle capture."""
+    from repro.obs.flight import flight
+
+    fl = flight()
+    if not fl.enabled or not fl.config.capture_bundles:
+        return
+    case = diff.record.case
+    with fl.context(golden_case=case.name,
+                    delay_error_pct=diff.delay_error_pct,
+                    spice_delay=diff.record.spice_delay,
+                    qwm_delay=diff.fresh_delay):
+        fl.force_capture("golden_band_violation")
+        try:
+            qwm_measure(case, tech, evaluator)
+        except Exception:
+            # The diagnostic re-run must never turn a band violation
+            # into a crash; the original diff is still reported.
+            pass
+        finally:
+            fl.consume_force_capture()
 
 
 def format_report(diffs: Sequence[GoldenDiff]) -> str:

@@ -48,6 +48,7 @@ from repro.analysis.sta import (ArcFn, ArrivalTime, Event, StaResult,
 from repro.circuit.netlist import LogicStage
 from repro.circuit.stage import StageGraph
 from repro.obs import inc, set_gauge, span
+from repro.obs.flight import flight
 from repro.spice.results import SimulationStats
 
 BACKENDS = ("serial", "thread", "process")
@@ -391,6 +392,10 @@ def _cached_arc_fn(base: ArcFn, form: CanonicalForm,
     Keys use the stage's *canonical* net/input ids, so isomorphic
     stages (a decoder's repeated NANDs, for example) share entries no
     matter what their nets are called.
+
+    When the flight recorder is on, misses attribute the solve-id range
+    the arc consumed to its cache key and hits point back at those
+    origin solves — cache-served results keep their forensics trail.
     """
     def arc_fn(stage: LogicStage, output: str, out_direction: str,
                switching_input: str, input_slew: Optional[float]
@@ -400,11 +405,18 @@ def _cached_arc_fn(base: ArcFn, form: CanonicalForm,
                             out_direction,
                             form.input_ids[switching_input], effective)
         value = cache_get(key)
+        fl = flight()
         if StageResultCache.found(value):
+            if fl.enabled:
+                fl.note_cache_hit(f"{key[0]}/{key[1]}")
             return value  # type: ignore[return-value]
+        first_solve = fl.next_solve_id() if fl.enabled else 0
         result = base(stage, output, out_direction, switching_input,
                       effective)
         cache_put(key, result)
+        if fl.enabled:
+            fl.note_arc_result(f"{key[0]}/{key[1]}", first_solve,
+                               fl.next_solve_id())
         return result
     return arc_fn
 
@@ -449,11 +461,17 @@ _WORKER_ANALYZER: Optional[StaticTimingAnalyzer] = None
 
 
 def _process_worker_init(tech, library, options, propagate_slews,
-                         input_slew) -> None:
+                         input_slew, flight_config=None) -> None:
     global _WORKER_ANALYZER
     _WORKER_ANALYZER = StaticTimingAnalyzer(
         tech, library=library, options=options,
         propagate_slews=propagate_slews, input_slew=input_slew)
+    if flight_config is not None and flight_config.enabled:
+        # Workers record into their own ledgers; bundles (the durable
+        # artifact) land in the shared bundle_dir either way.
+        from repro.obs.flight import configure_flight
+
+        configure_flight(flight_config)
 
 
 def _process_stage_task(stage: LogicStage,
@@ -604,7 +622,7 @@ class ParallelStaEngine:
             initializer=_process_worker_init,
             initargs=(self.analyzer.tech, evaluator.library,
                       evaluator.options, self.analyzer.propagate_slews,
-                      self.analyzer.input_slew))
+                      self.analyzer.input_slew, flight().config))
 
     def _run_pooled(self, graph: StageGraph, order: List[LogicStage],
                     arrivals: Dict[Event, ArrivalTime],

@@ -17,6 +17,7 @@ through the gate-capacitance loads the stage extraction already counts.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -28,11 +29,15 @@ from repro.core.qwm import QWMOptions
 from repro.devices.table_model import TableModelLibrary
 from repro.devices.technology import Technology
 from repro.obs import inc, observe, span
+from repro.obs.flight import flight
 from repro.spice.results import SimulationStats
 from repro.spice.sources import ConstantSource, RampSource, StepSource
 
 #: (net, direction) key; direction is the transition of the net.
 Event = Tuple[str, str]
+
+#: Reusable no-op context (flight recorder disabled on the hot path).
+_NULL_CTX = nullcontext()
 
 #: Arc evaluation callback: (stage, output, out_direction, input,
 #: input_slew) -> (delay, output_slew) or None.  The scheduler-agnostic
@@ -274,8 +279,12 @@ class StaticTimingAnalyzer:
             t_input = 0.0
         solution = None
         arc_start = time.perf_counter()
+        fl = flight()
+        arc_ctx = (fl.context(arc_input=switching_input)
+                   if fl.enabled else _NULL_CTX)
         with span("sta.stage", stage=stage.name, output=output,
-                  direction=out_direction, input=switching_input):
+                  direction=out_direction, input=switching_input), \
+                arc_ctx:
             for levels in self._sensitizations(stage, switching_input,
                                                out_direction):
                 inputs = {switching_input: source}
@@ -395,7 +404,8 @@ class StaticTimingAnalyzer:
             ctx = LintContext.from_stage_graph(
                 graph, tech=self.tech,
                 options=self.evaluator.options,
-                library=self.evaluator.library)
+                library=self.evaluator.library,
+                execution=self.execution)
             preflight(ctx, what="stage graph",
                       packs=("erc", "solver"))
         if self.execution is not None or self.cache is not None:

@@ -31,7 +31,28 @@ Commands
     case with QWM and compare against the stored reference-simulator
     numbers (exit 1 outside the tolerance bands).  ``--update``
     re-runs *both* engines over the slew x load grid and rewrites
-    ``tests/golden/*.json``.
+    ``tests/golden/*.json``.  ``--flight-bundles DIR`` records the run
+    with the flight recorder and writes a self-contained debug bundle
+    under DIR for every band violation (see ``replay``).
+
+``replay BUNDLE.json``
+    Deterministically re-run the solve a flight bundle captured and
+    compare the Newton iteration trajectories bit-for-bit against the
+    recording (exit 1 on divergence).  ``--verbose`` prints every
+    replayed iteration.
+
+``report [DECK.sp]``
+    Run STA under the flight recorder and print the per-run
+    convergence report: fallback histogram, Newton iteration
+    distribution, worst regions, cache attribution.  Without a deck a
+    built-in ``--bits`` address decoder is timed.  ``--json`` emits
+    the aggregated summary instead.
+
+``bench-diff``
+    Compare the last two entries of the benchmark history ledger
+    (``benchmarks/results/BENCH_history.jsonl``, appended by the bench
+    suite) and flag metrics that regressed by more than 10 % (exit 1;
+    CI runs this report-only).
 
 ``stats [DECK.sp]``
     Evaluate one transition with QWM under full telemetry and print a
@@ -394,7 +415,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print()
     print("wall-time tree")
     print(rule)
-    print(format_span_tree(bundle.tracer.records()))
+    print(format_span_tree(bundle.tracer.records(),
+                           dropped=bundle.tracer.stats()["dropped"]))
     return 0
 
 
@@ -421,9 +443,173 @@ def _cmd_golden(args: argparse.Namespace) -> int:
               f"under {directory}")
         return 1 if over else 0
     records = golden.load(directory)
-    diffs = golden.check(records, tech)
+    if args.flight_bundles:
+        from repro.obs import (FlightConfig, configure_flight,
+                               disable_flight)
+
+        recorder = configure_flight(FlightConfig(
+            enabled=True, capture_bundles=True,
+            bundle_dir=args.flight_bundles))
+        try:
+            diffs = golden.check(records, tech)
+        finally:
+            written = recorder.stats()["bundles"]
+            disable_flight()
+        if written:
+            print(f"wrote {written} debug bundle(s) under "
+                  f"{args.flight_bundles} (inspect with `repro replay`)",
+                  file=sys.stderr)
+    else:
+        diffs = golden.check(records, tech)
     print(golden.format_report(diffs))
     return 0 if all(d.ok for d in diffs) else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.obs.bundles import load_bundle, replay_bundle
+
+    bundle = load_bundle(args.bundle)
+    print(f"bundle: {args.bundle}")
+    print(f"reason: {bundle.get('reason')}   "
+          f"stage: {bundle['stage']['name']}   "
+          f"arc: {bundle['output']} {bundle['direction']}")
+    extra = bundle.get("extra") or {}
+    if extra:
+        context = "  ".join(f"{k}={v}" for k, v in sorted(extra.items()))
+        print(f"context: {context}")
+    result = replay_bundle(bundle, verbose=args.verbose)
+    print(result.render())
+    return 0 if result.identical else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import StaticTimingAnalyzer
+    from repro.analysis.parallel import ExecutionConfig, StageResultCache
+    from repro.obs import (FlightConfig, configure_flight, disable_flight,
+                           render_report, summarize_ledger)
+
+    tech = CMOSP35
+    if args.deck:
+        with open(args.deck) as handle:
+            text = handle.read()
+        netlist = parse_spice_netlist(text, tech, name=args.deck)
+        design = os.path.basename(args.deck)
+    else:
+        from repro.circuit import builders
+
+        netlist = builders.decoder_netlist(tech, bits=args.bits)
+        design = f"decoder{args.bits} (built-in)"
+    graph = extract_stages(netlist, tech=tech)
+
+    execution = None
+    cache = None
+    if args.cache or args.workers > 1:
+        execution = ExecutionConfig(
+            workers=args.workers,
+            backend="thread" if args.workers > 1 else "serial",
+            cache=args.cache)
+        if args.cache:
+            cache = StageResultCache()
+
+    recorder = configure_flight(FlightConfig(
+        enabled=True, event_limit=args.event_limit))
+    try:
+        analyzer = StaticTimingAnalyzer(tech, execution=execution,
+                                        cache=cache)
+        result = analyzer.analyze(graph)
+        summary = summarize_ledger(recorder)
+    finally:
+        disable_flight()
+
+    worst = result.worst
+    if args.json:
+        document = {
+            "design": design,
+            "stages": len(graph.stages),
+            "worst_arrival_seconds": (worst.time if worst else None),
+            "worst_event": ([worst.net, worst.direction]
+                            if worst else None),
+            "summary": summary,
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    print(f"design: {design}   stages: {len(graph.stages)}")
+    if worst is not None:
+        print(f"worst arrival: {worst.time * 1e12:.2f} ps "
+              f"({worst.net} {worst.direction})")
+    print()
+    print(render_report(summary))
+    return 0
+
+
+#: Relative change beyond which ``bench-diff`` flags a regression.
+BENCH_DIFF_THRESHOLD_PCT = 10.0
+
+#: Metric-name fragments where smaller values are better.
+_LOWER_IS_BETTER = ("error", "seconds", "time", "failures")
+
+
+def _bench_regressions(prev: Dict, last: Dict,
+                       threshold_pct: float) -> List[Dict]:
+    """Metrics of ``last`` that regressed vs ``prev`` beyond the band."""
+    regressions = []
+    prev_metrics = prev.get("metrics", {})
+    for name, current in last.get("metrics", {}).items():
+        baseline = prev_metrics.get(name)
+        if baseline is None or baseline == 0:
+            continue
+        change_pct = 100.0 * (current - baseline) / abs(baseline)
+        lower_better = any(frag in name for frag in _LOWER_IS_BETTER)
+        worse = change_pct > threshold_pct if lower_better \
+            else change_pct < -threshold_pct
+        regressions.append({
+            "metric": name, "baseline": baseline, "current": current,
+            "change_pct": change_pct, "regression": worse,
+        })
+    return regressions
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    history = args.history or os.path.join(
+        "benchmarks", "results", "BENCH_history.jsonl")
+    if not os.path.exists(history):
+        print(f"bench-diff: no history at {history} (run the benchmark "
+              f"suite first)", file=sys.stderr)
+        return 0
+    entries = []
+    with open(history) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    if args.run:
+        entries = [e for e in entries if e.get("run") == args.run]
+    if len(entries) < 2:
+        print(f"bench-diff: {len(entries)} history entr"
+              f"{'y' if len(entries) == 1 else 'ies'} in {history}; "
+              "need two to compare")
+        return 0
+    prev, last = entries[-2], entries[-1]
+    if prev.get("smoke") != last.get("smoke"):
+        print("bench-diff: note: comparing a smoke run against a full "
+              "run — absolute numbers are not comparable",
+              file=sys.stderr)
+    rows = _bench_regressions(prev, last, args.threshold)
+    print(f"bench-diff: {prev.get('git_sha', '?')[:12]} -> "
+          f"{last.get('git_sha', '?')[:12]} "
+          f"(run={last.get('run', '?')}, band ±{args.threshold:.0f}%)")
+    for row in rows:
+        marker = "REGRESSION" if row["regression"] else "ok"
+        print(f"  {row['metric']:<28} {row['baseline']:>12.4g} -> "
+              f"{row['current']:>12.4g}  {row['change_pct']:>+8.2f}%  "
+              f"{marker}")
+    flagged = [r for r in rows if r["regression"]]
+    if flagged:
+        print(f"{len(flagged)} metric(s) regressed beyond "
+              f"{args.threshold:.0f}%")
+        return 1
+    print("no regressions beyond the band")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -530,7 +716,51 @@ def build_parser() -> argparse.ArgumentParser:
                            "rewrite the stored records (slow)")
     gold.add_argument("--dir", default=None,
                       help="golden directory (default: tests/golden)")
+    gold.add_argument("--flight-bundles", metavar="DIR", default=None,
+                      help="record the run with the flight recorder "
+                           "and write a debug bundle per band "
+                           "violation under DIR")
     gold.set_defaults(func=_cmd_golden)
+
+    replay = sub.add_parser("replay",
+                            help="deterministically re-run a flight "
+                                 "debug bundle")
+    replay.add_argument("bundle", help="bundle JSON written by the "
+                                       "flight recorder")
+    replay.add_argument("--verbose", action="store_true",
+                        help="print every replayed Newton iteration")
+    replay.set_defaults(func=_cmd_replay)
+
+    rep = sub.add_parser("report",
+                         help="per-run convergence/forensics report")
+    rep.add_argument("deck", nargs="?", default=None,
+                     help="optional deck (default: a built-in address "
+                          "decoder, see --bits)")
+    rep.add_argument("--bits", type=int, default=3,
+                     help="address bits of the built-in decoder")
+    rep.add_argument("--workers", type=int, default=1,
+                     help="thread-pool size for the STA run")
+    rep.add_argument("--cache", action="store_true",
+                     help="enable the stage-result cache (the report "
+                          "then shows cache attribution)")
+    rep.add_argument("--event-limit", type=int, default=200_000,
+                     help="flight ledger event cap for the run")
+    rep.add_argument("--json", action="store_true",
+                     help="emit the aggregated summary as JSON")
+    rep.set_defaults(func=_cmd_report)
+
+    bdiff = sub.add_parser("bench-diff",
+                           help="flag regressions between the last two "
+                                "benchmark history entries")
+    bdiff.add_argument("--history", default=None,
+                       help="history file (default: benchmarks/results/"
+                            "BENCH_history.jsonl)")
+    bdiff.add_argument("--run", default=None,
+                       help="only compare entries of this run name")
+    bdiff.add_argument("--threshold", type=float,
+                       default=BENCH_DIFF_THRESHOLD_PCT,
+                       help="regression band in percent")
+    bdiff.set_defaults(func=_cmd_bench_diff)
     return parser
 
 

@@ -28,6 +28,7 @@ from repro.circuit.netlist import LogicStage
 from repro.core.path import DischargePath, extract_path
 from repro.core.qwm import QWMOptions, QWMSolution, QWMSolver
 from repro.obs import inc, span
+from repro.obs.flight import flight
 from repro.devices.table_model import TableModelLibrary
 from repro.devices.technology import Technology
 from repro.spice.sources import SourceLike, as_source
@@ -187,7 +188,50 @@ class WaveformEvaluator:
             if initial is not None:
                 start.update(initial)
             solver = QWMSolver(path, self.options)
-            return solver.solve(inputs, start, t_start=t_start)
+            fl = flight()
+            if fl.enabled:
+                with fl.context(stage=stage.name, output=output,
+                                direction=direction):
+                    solution = solver.solve(inputs, start,
+                                            t_start=t_start)
+                self._capture_bundle(fl, path, inputs, start, t_start)
+            else:
+                solution = solver.solve(inputs, start, t_start=t_start)
+            return solution
+
+    def _capture_bundle(self, fl, path: DischargePath,
+                        inputs: Dict[str, SourceLike],
+                        start: Dict[str, float],
+                        t_start: float) -> None:
+        """Serialize a debug bundle if the solve warrants one.
+
+        Two triggers: a region failure the QWM scheduler stashed on the
+        recorder, or a caller-forced capture (the golden suite flags
+        band violations this way).  Either way the bundle carries the
+        evaluator's technology and the exact table slices the path
+        used, so it replays with zero re-characterization.
+        """
+        failure = fl.take_solve_failure()
+        forced = fl.consume_force_capture()
+        if failure is None and forced is None:
+            return
+        if not fl.config.capture_bundles or not fl.claim_bundle_slot():
+            return
+        from repro.obs.bundles import build_bundle, save_bundle
+
+        reason = "solve_failure" if failure is not None else forced
+        bundle = build_bundle(
+            path, inputs, start, t_start, self.options, reason,
+            tech=self.tech,
+            grid_step=getattr(self.library, "grid_step", 0.1),
+            failure=failure, ledger=fl.to_json(),
+            extra=fl.current_context())
+        written = save_bundle(
+            bundle, fl.config.bundle_dir,
+            label=f"{reason}-{path.stage.name}-{path.output}-"
+                  f"{path.direction}")
+        fl.record("bundle_written", solve_id=(failure or {}).get(
+            "solve_id", 0), path=written, reason=reason)
 
     def delay(self, stage: LogicStage, output: str, direction: str,
               inputs: Dict[str, SourceLike],

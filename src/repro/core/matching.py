@@ -274,12 +274,15 @@ class RegionSystem:
     # ------------------------------------------------------------------
     def newton_solve(self, x0: np.ndarray,
                      options: Optional[NewtonOptions] = None,
-                     use_sherman_morrison: bool = True) -> NewtonResult:
+                     use_sherman_morrison: bool = True,
+                     trajectory: Optional[list] = None) -> NewtonResult:
         """Solve the region system from an initial guess.
 
         The linear solves use the O(K) Thomas + Sherman-Morrison path by
         default, falling back to dense LU if the structured solve hits a
-        singular pivot.
+        singular pivot.  ``trajectory`` (a list, when provided) receives
+        the per-iteration Newton record — see
+        :meth:`repro.linalg.newton.NewtonSolver.solve`.
 
         Raises:
             NewtonConvergenceError: if Newton fails to converge.
@@ -306,4 +309,5 @@ class RegionSystem:
             return np.linalg.solve(dense, rhs)
 
         return solver.solve(self.residual, jacobian, x0,
-                            linear_solve=linear_solve)
+                            linear_solve=linear_solve,
+                            trajectory=trajectory)

@@ -42,6 +42,7 @@ from repro.core.path import DischargePath
 from repro.core.waveforms import PiecewiseQuadraticWaveform, QuadraticPiece
 from repro.linalg.newton import NewtonConvergenceError, NewtonOptions
 from repro.obs import inc, observe, span
+from repro.obs.flight import flight
 from repro.spice.results import SimulationStats, TransientResult
 from repro.spice.sources import SourceLike, as_source
 
@@ -150,6 +151,18 @@ class QWMSolution:
                                stats=self.stats, label="qwm")
 
 
+def _condition_json(condition) -> Dict[str, object]:
+    """Serialize a region end condition for the flight ledger."""
+    if isinstance(condition, TimeCondition):
+        return {"kind": "time", "t_end": float(condition.t_end)}
+    if isinstance(condition, CrossingCondition):
+        return {"kind": "crossing", "target": float(condition.target)}
+    if isinstance(condition, TurnOnCondition):
+        return {"kind": "turn_on",
+                "device_index": int(condition.device_index)}
+    return {"kind": type(condition).__name__}
+
+
 class _TableQueryMeter:
     """Incremental drain of a path's table-model query counters.
 
@@ -189,6 +202,9 @@ class QWMSolver:
                  options: Optional[QWMOptions] = None):
         self.path = path
         self.options = options or QWMOptions()
+        # Flight-recorder attachment for the current solve (None = off).
+        self._fl = None
+        self._solve_id = 0
 
     # ------------------------------------------------------------------
     def solve(self, inputs: Dict[str, SourceLike],
@@ -205,12 +221,27 @@ class QWMSolver:
         Returns:
             The solved :class:`QWMSolution`.
         """
+        fl = flight()
+        if fl.enabled:
+            self._fl = fl
+            self._solve_id = fl.begin_solve(
+                k=self.path.length, direction=self.path.direction,
+                output=self.path.output, t_start=t_start)
+        else:
+            self._fl = None
+            self._solve_id = 0
         with span("qwm.solve", k=self.path.length,
                   direction=self.path.direction) as sp:
             solution = self._run_schedule(inputs, initial, t_start)
             sp.set(regions=solution.stats.steps,
                    newton_iterations=solution.stats.newton_iterations)
         inc("qwm.solves")
+        if self._fl is not None:
+            self._fl.end_solve(
+                self._solve_id, regions=solution.stats.steps,
+                newton_iterations=solution.stats.newton_iterations,
+                table_queries=solution.stats.device_evaluations,
+                wall_seconds=solution.stats.wall_time)
         return solution
 
     def _run_schedule(self, inputs: Dict[str, SourceLike],
@@ -325,6 +356,10 @@ class QWMSolver:
                 tau = tau_new
                 critical_times.append(tau)
             if failed:
+                if self._fl is not None:
+                    self._fl.record("fallback", solve_id=self._solve_id,
+                                    fallback="cascade_abort",
+                                    frontier=frontier, tau=tau)
                 break
             frontier = next_idx
             i = self._model_currents(sources, frontier, tau, u,
@@ -394,6 +429,12 @@ class QWMSolver:
                         anchored = self._solve_region(
                             sources, k_total, tau, u, i,
                             TimeCondition(brk), stats, meter)
+                        if self._fl is not None:
+                            self._fl.record(
+                                "fallback", solve_id=self._solve_id,
+                                fallback="ramp_break_anchor", tau=tau,
+                                t_break=brk, target=target,
+                                recovered=anchored is not None)
                         if anchored is not None:
                             solved = anchored
                             worklist.insert(0, target)
@@ -402,6 +443,11 @@ class QWMSolver:
                     # Split the crossing: aim for the midpoint first.
                     mid = 0.5 * (u[k_total - 1] + target)
                     if u[k_total - 1] - mid > 5e-3:
+                        if self._fl is not None:
+                            self._fl.record(
+                                "fallback", solve_id=self._solve_id,
+                                fallback="region_subdivision", tau=tau,
+                                target=target, midpoint=mid)
                         worklist[:0] = [mid, target]
                         continue
                     break
@@ -660,6 +706,7 @@ class QWMSolver:
         """
         path = self.path
         opts = self.options
+        rec = self._fl
         scales = [(s, opts.waveform_order)
                   for s in [1.0, 0.3, 3.0, 0.1][:max(opts.max_retries, 1)]]
         if opts.waveform_order != 1:
@@ -668,6 +715,9 @@ class QWMSolver:
                            active=active)
         region_start = time.perf_counter()
         attempts = 0
+        reasons: List[str] = []
+        failed_iterations = 0
+        region_queries = 0
         with region_span:
             for scale, order in scales:
                 attempts += 1
@@ -681,16 +731,42 @@ class QWMSolver:
                     system = RegionSystem(path, sources, active, tau, u,
                                           i, condition, caps=caps,
                                           order=order)
+                    trajectory = [] if rec is not None else None
+                    outcome = "converged"
+                    if rec is not None:
+                        guess_rec = [float(v) for v in guess]
+                        caps_rec = [float(c) for c in caps]
                     try:
                         result = system.newton_solve(
                             guess, options=opts.newton,
-                            use_sherman_morrison=opts.use_sherman_morrison)
-                    except NewtonConvergenceError:
+                            use_sherman_morrison=opts.use_sherman_morrison,
+                            trajectory=trajectory)
+                    except NewtonConvergenceError as exc:
                         result = None
-                        break
-                    tau_new = float(result.x[active])
-                    if not tau_new > tau:
-                        result = None
+                        outcome = exc.reason
+                    if result is not None:
+                        tau_new = float(result.x[active])
+                        if not tau_new > tau:
+                            result = None
+                            outcome = "non_advancing_time"
+                    if rec is not None:
+                        rec.record(
+                            "newton", solve_id=self._solve_id,
+                            active=active, tau=float(tau),
+                            condition=_condition_json(condition),
+                            scale=scale, order=order, refine=_refine,
+                            u=[float(v) for v in u],
+                            i=[float(v) for v in i],
+                            caps=caps_rec, guess=guess_rec,
+                            trajectory=trajectory, outcome=outcome,
+                            iterations=(result.iterations
+                                        if result is not None
+                                        else max(len(trajectory) - 1, 0)))
+                    if result is None:
+                        reasons.append(outcome)
+                        if trajectory is not None:
+                            failed_iterations += max(len(trajectory) - 1,
+                                                     0)
                         break
                     u_new = u.copy()
                     u_new[:active] = np.clip(result.x[:active], -0.1,
@@ -705,7 +781,7 @@ class QWMSolver:
                     caps = refined
                     guess = result.x.copy()
                 if meter is not None:
-                    meter.drain(stats)
+                    region_queries += meter.drain(stats)
                 if result is None:
                     inc("newton.convergence.failures")
                     continue
@@ -723,5 +799,25 @@ class QWMSolver:
                         time.perf_counter() - region_start)
                 region_span.set(iterations=region_iterations,
                                 attempts=attempts, order=order)
+                if rec is not None:
+                    rec.record(
+                        "region_solved", solve_id=self._solve_id,
+                        active=active, tau=float(tau),
+                        tau_new=tau_new,
+                        condition=_condition_json(condition),
+                        milestone=[float(v) for v in u_new[:active]],
+                        order=order, attempts=attempts,
+                        iterations=region_iterations,
+                        table_queries=region_queries)
                 return tau_new, u_new, i_new, caps, order
+        if rec is not None:
+            data = {"active": active, "tau": float(tau),
+                    "condition": _condition_json(condition),
+                    "u": [float(v) for v in u],
+                    "i": [float(v) for v in i],
+                    "attempts": attempts, "reasons": reasons,
+                    "iterations": failed_iterations,
+                    "table_queries": region_queries}
+            rec.record("region_failed", solve_id=self._solve_id, **data)
+            rec.note_solve_failure(self._solve_id, data)
         return None

@@ -10,7 +10,7 @@ Sherman-Morrison solve here).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -18,14 +18,29 @@ ResidualFn = Callable[[np.ndarray], np.ndarray]
 JacobianFn = Callable[[np.ndarray], np.ndarray]
 LinearSolveFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
+#: Machine-readable values of :attr:`NewtonConvergenceError.reason`.
+FAILURE_REASONS = (
+    "non_finite_residual",
+    "linear_solve_failed",
+    "non_finite_step",
+    "max_iterations",
+)
+
 
 class NewtonConvergenceError(RuntimeError):
-    """Raised when Newton-Raphson fails to converge within max_iterations."""
+    """Raised when Newton-Raphson fails to converge within max_iterations.
 
-    def __init__(self, message: str, last_x: np.ndarray, last_residual_norm: float):
+    ``reason`` is one of :data:`FAILURE_REASONS` so callers (retry loops,
+    the flight recorder) can build a fallback taxonomy without parsing
+    the human-readable message.
+    """
+
+    def __init__(self, message: str, last_x: np.ndarray, last_residual_norm: float,
+                 reason: str = "max_iterations"):
         super().__init__(message)
         self.last_x = last_x
         self.last_residual_norm = last_residual_norm
+        self.reason = reason
 
 
 @dataclass
@@ -98,6 +113,7 @@ class NewtonSolver:
         jacobian: JacobianFn,
         x0: np.ndarray,
         linear_solve: Optional[LinearSolveFn] = None,
+        trajectory: Optional[List[Dict[str, float]]] = None,
     ) -> NewtonResult:
         """Solve ``residual(x) = 0`` starting from ``x0``.
 
@@ -108,6 +124,12 @@ class NewtonSolver:
             x0: initial guess (not modified).
             linear_solve: optional ``(jacobian_value, rhs) -> update``;
                 defaults to ``numpy.linalg.solve``.
+            trajectory: optional list that receives one dict per
+                iteration (``iteration``, ``residual_norm``,
+                ``step_norm``, ``shrink``) including an iteration-0
+                entry for the initial residual.  When ``None`` (the
+                default) nothing is recorded and the loop pays one
+                ``is not None`` check per iteration.
 
         Returns:
             A :class:`NewtonResult` on convergence.
@@ -123,11 +145,15 @@ class NewtonSolver:
         f = np.asarray(residual(x), dtype=float)
         evals = 1
         fnorm = _inf_norm(f)
+        if trajectory is not None:
+            trajectory.append({"iteration": 0, "residual_norm": fnorm,
+                               "step_norm": 0.0, "shrink": 1.0})
         if not np.isfinite(fnorm):
             raise NewtonConvergenceError(
                 "non-finite residual at the initial guess",
                 last_x=x,
                 last_residual_norm=fnorm,
+                reason="non_finite_residual",
             )
 
         for iteration in range(1, opts.max_iterations + 1):
@@ -146,12 +172,14 @@ class NewtonSolver:
                     f"linear solve failed at iteration {iteration}: {exc}",
                     last_x=x,
                     last_residual_norm=fnorm,
+                    reason="linear_solve_failed",
                 ) from exc
             if not np.all(np.isfinite(step)):
                 raise NewtonConvergenceError(
                     f"non-finite Newton step at iteration {iteration}",
                     last_x=x,
                     last_residual_norm=fnorm,
+                    reason="non_finite_step",
                 )
             step *= opts.damping
             if opts.max_step is not None:
@@ -166,8 +194,10 @@ class NewtonSolver:
                     f"non-finite residual at iteration {iteration}",
                     last_x=x,
                     last_residual_norm=fnorm,
+                    reason="non_finite_residual",
                 )
 
+            accepted_shrink = 1.0
             if opts.line_search and fnorm_new > fnorm and fnorm_new > opts.abstol:
                 shrink = 0.5
                 for _ in range(opts.line_search_tries):
@@ -177,12 +207,18 @@ class NewtonSolver:
                     fnorm_try = _inf_norm(f_try)
                     if fnorm_try < fnorm_new:
                         x_new, f_new, fnorm_new = x_try, f_try, fnorm_try
+                        accepted_shrink = shrink
                     if fnorm_try < fnorm:
                         break
                     shrink *= 0.5
 
             step_norm = _inf_norm(x_new - x)
             x, f, fnorm = x_new, f_new, fnorm_new
+            if trajectory is not None:
+                trajectory.append({"iteration": iteration,
+                                   "residual_norm": fnorm,
+                                   "step_norm": step_norm,
+                                   "shrink": accepted_shrink})
             if fnorm <= opts.abstol or step_norm <= opts.xtol:
                 return NewtonResult(
                     x=x,
@@ -196,6 +232,7 @@ class NewtonSolver:
             f"(|F| = {fnorm:.3e})",
             last_x=x,
             last_residual_norm=fnorm,
+            reason="max_iterations",
         )
 
 

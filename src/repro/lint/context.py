@@ -48,6 +48,10 @@ class LintContext:
             consistency checks).
         options: QWM solver options (duck-typed; anything exposing the
             ``QWMOptions`` attributes works).
+        execution: parallel execution configuration (duck-typed
+            ``repro.analysis.parallel.ExecutionConfig``) when the run
+            goes through the parallel engine; solver-hygiene rules use
+            it to reason about per-worker budgets.
         grid_step: characterization grid pitch hint [V] used by the
             stack-depth preflight when no tables are attached.
         rc_trees: interconnect RC trees to lint.
@@ -63,6 +67,7 @@ class LintContext:
     tables: List[Any] = field(default_factory=list)
     corners: Dict[str, Any] = field(default_factory=dict)
     options: Optional[Any] = None
+    execution: Optional[Any] = None
     grid_step: Optional[float] = None
     rc_trees: List[Any] = field(default_factory=list)
     coupling_caps: List[CouplingCap] = field(default_factory=list)
@@ -105,10 +110,12 @@ class LintContext:
     @classmethod
     def from_stage_graph(cls, graph: Any, tech: Optional[Any] = None,
                          options: Optional[Any] = None,
-                         library: Optional[Any] = None) -> "LintContext":
+                         library: Optional[Any] = None,
+                         execution: Optional[Any] = None
+                         ) -> "LintContext":
         """Build a context around an extracted stage graph."""
         ctx = cls(graph=graph, stages=list(graph.stages), tech=tech,
-                  options=options,
+                  options=options, execution=execution,
                   design_name=getattr(graph, "name", "design"))
         if library is not None:
             ctx.grid_step = getattr(library, "grid_step", None)

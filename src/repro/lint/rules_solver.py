@@ -287,3 +287,40 @@ class TelemetryBudgetRule(LintRule):
                 hint="configure(ObsConfig(enabled=True)) — the "
                      "newton.convergence.failures counter and "
                      "qwm.region spans pinpoint failing regions")
+
+
+@register
+class FlightLedgerBudgetRule(LintRule):
+    """Unbounded flight ledgers grow without limit in parallel runs."""
+
+    rule_id = "SOL005"
+    slug = "flight-ledger-budget"
+    pack = "solver"
+    default_severity = Severity.WARNING
+    description = ("An enabled flight recorder with no event limit "
+                   "accumulates every per-region event of every worker "
+                   "for the whole run.")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        from repro.obs.flight import flight
+
+        recorder = flight()
+        if not recorder.enabled:
+            return
+        if recorder.config.event_limit is not None:
+            return
+        execution = ctx.execution
+        workers = getattr(execution, "workers", 1) if execution else 1
+        backend = getattr(execution, "backend", "serial") \
+            if execution else "serial"
+        if workers <= 1 and backend == "serial":
+            return
+        yield self.diag(
+            f"flight recorder enabled with event_limit=None (unbounded) "
+            f"for a parallel run ({workers} workers, {backend} "
+            "backend): every worker's per-region events accumulate in "
+            "memory for the whole analysis",
+            _opts_loc("flight.event_limit"),
+            hint="set FlightConfig(event_limit=...) — the default "
+                 "20000 keeps forensics for the most recent solves "
+                 "while bounding memory")

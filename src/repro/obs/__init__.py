@@ -25,6 +25,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.obs.config import ObsConfig, SINK_KINDS
+from repro.obs.flight import (FlightConfig, FlightRecorder, LedgerEvent,
+                              configure_flight, disable_flight, flight,
+                              render_report, summarize_ledger)
 from repro.obs.metrics import (CATALOG, Counter, Gauge, Histogram,
                                MetricsRegistry)
 from repro.obs.sinks import (JsonlSink, NullSink, Sink, StderrSink,
@@ -38,6 +41,9 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "Sink",
     "NullSink", "StderrSink", "JsonlSink", "make_sink", "Tracer",
     "SpanRecord", "NOOP_SPAN", "format_span_tree",
+    "FlightConfig", "FlightRecorder", "LedgerEvent", "flight",
+    "configure_flight", "disable_flight", "summarize_ledger",
+    "render_report",
 ]
 
 

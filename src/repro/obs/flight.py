@@ -1,0 +1,515 @@
+"""Solver flight recorder: per-region convergence forensics.
+
+Where ``repro.obs`` answers "how much did this run cost?", the flight
+recorder answers "what happened inside *that* solve?".  When enabled it
+keeps a structured, bounded, thread-safe ledger of per-region events for
+every QWM solve:
+
+* ``solve_begin`` / ``solve_end`` — one pair per ``QWMSolver.solve``,
+  tagged with whatever arc context (stage / output / direction /
+  switching input) the caller pushed via :meth:`FlightRecorder.context`.
+* ``newton`` — one per Newton invocation (region attempt x cap
+  refinement): the initial guess, the equivalent caps used, the full
+  iteration trajectory (residual norms, step norms, line-search
+  damping) and the outcome (``converged`` or a machine-readable
+  failure reason from :data:`repro.linalg.newton.FAILURE_REASONS`).
+* ``region_solved`` — the matched milestone: τ, the α vector (frame
+  node voltages), order used, attempts, iterations and the table-model
+  query delta spent on the region.
+* ``region_failed`` — the exhausted retry ladder with its reason
+  taxonomy, plus the exact region-start state (τ, u, i, condition) a
+  debug bundle needs for deterministic replay.
+* ``fallback`` — schedule-level fallbacks: ``ramp_break_anchor``,
+  ``region_subdivision``, ``cascade_abort``.
+
+Cache attribution: the parallel engine calls
+:meth:`FlightRecorder.note_arc_result` after computing an arc and
+:meth:`FlightRecorder.note_cache_hit` when serving it from cache, so a
+hit carries provenance back to the solve ids that produced the value.
+
+Like the telemetry bundle, the recorder is process-wide, disabled by
+default, and every hot-path check degrades to a single attribute read
+(``flight().enabled``) when off.  See DESIGN.md ("Forensics & replay")
+for the event schema and the bundle format.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "FlightConfig", "LedgerEvent", "FlightRecorder", "flight",
+    "configure_flight", "disable_flight", "summarize_ledger",
+    "render_report",
+]
+
+
+@dataclass
+class FlightConfig:
+    """Controls for the flight recorder.
+
+    Attributes:
+        enabled: master switch.  When False (the default) every
+            instrumentation point is a single attribute check.
+        event_limit: maximum retained ledger events; further events are
+            dropped and counted.  ``None`` means unbounded — legal, but
+            the SOL005 lint rule warns about it in parallel runs.
+        capture_bundles: serialize a debug bundle on solve failure or
+            when a caller forces capture (golden band violations).
+        bundle_dir: directory debug bundles are written into.
+        max_bundles: cap on bundles written per recorder lifetime (a
+            failing sweep should not fill the disk).
+        verbose: echo ledger events to stderr as they are recorded.
+    """
+
+    enabled: bool = False
+    event_limit: Optional[int] = 20_000
+    capture_bundles: bool = False
+    bundle_dir: str = "flight-bundles"
+    max_bundles: int = 16
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.event_limit is not None and self.event_limit < 1:
+            raise ValueError("event_limit must be >= 1 or None (unbounded)")
+        if self.max_bundles < 0:
+            raise ValueError("max_bundles must be non-negative")
+
+
+@dataclass
+class LedgerEvent:
+    """One recorded flight event.
+
+    Attributes:
+        seq: global sequence number (insertion order across threads).
+        solve_id: the owning solve (0 = outside any solve).
+        kind: event kind (``solve_begin``, ``newton``, ``region_solved``,
+            ``region_failed``, ``fallback``, ``solve_end``, ...).
+        data: kind-specific payload (JSON-serializable).
+    """
+
+    seq: int
+    solve_id: int
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"seq": self.seq, "solve_id": self.solve_id,
+                "kind": self.kind, "data": self.data}
+
+
+class FlightRecorder:
+    """Thread-safe bounded event ledger with solve/arc provenance."""
+
+    def __init__(self, config: Optional[FlightConfig] = None):
+        self.config = config or FlightConfig()
+        self._lock = threading.Lock()
+        self._events: List[LedgerEvent] = []
+        self._dropped = 0
+        self._seq = 0
+        self._solve_counter = 0
+        self._bundles_written = 0
+        self._local = threading.local()
+        # arc cache key -> {"solve_ids": [...], "hits": int}
+        self._provenance: Dict[str, Dict[str, Any]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    # ------------------------------------------------------------------
+    # Arc context (thread-local): pushed by the STA layer so solve
+    # events carry stage/arc identity without threading it through the
+    # solver call chain.
+    # ------------------------------------------------------------------
+    @contextmanager
+    def context(self, **attrs: Any) -> Iterator[None]:
+        """Attach attributes to every solve begun inside the block."""
+        stack = getattr(self._local, "ctx", None)
+        if stack is None:
+            stack = self._local.ctx = []
+        stack.append(attrs)
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    def current_context(self) -> Dict[str, Any]:
+        merged: Dict[str, Any] = {}
+        for frame in getattr(self._local, "ctx", ()):
+            merged.update(frame)
+        return merged
+
+    def force_capture(self, reason: str) -> None:
+        """Request a bundle from the next completed solve on this thread.
+
+        Used by the golden suite: a band violation is not a solve
+        failure, so the capture has to be forced from outside.
+        """
+        self._local.force = reason
+
+    def consume_force_capture(self) -> Optional[str]:
+        reason = getattr(self._local, "force", None)
+        self._local.force = None
+        return reason
+
+    def note_solve_failure(self, solve_id: int,
+                           failure: Dict[str, Any]) -> None:
+        """Stash a region failure for the bundle-capturing caller.
+
+        The QWM scheduler records the failure; the evaluator (which
+        owns the technology and table library a bundle needs) collects
+        it right after the solve returns, on the same thread.
+        """
+        self._local.failure = dict(failure, solve_id=solve_id)
+
+    def take_solve_failure(self) -> Optional[Dict[str, Any]]:
+        failure = getattr(self._local, "failure", None)
+        self._local.failure = None
+        return failure
+
+    # ------------------------------------------------------------------
+    # Solve lifecycle
+    # ------------------------------------------------------------------
+    def begin_solve(self, **attrs: Any) -> int:
+        """Allocate a solve id and record ``solve_begin``."""
+        with self._lock:
+            self._solve_counter += 1
+            solve_id = self._solve_counter
+        data = self.current_context()
+        data.update(attrs)
+        self.record("solve_begin", solve_id=solve_id, **data)
+        return solve_id
+
+    def end_solve(self, solve_id: int, **attrs: Any) -> None:
+        self.record("solve_end", solve_id=solve_id, **attrs)
+
+    def next_solve_id(self) -> int:
+        """The id the *next* ``begin_solve`` will return (for ranges)."""
+        with self._lock:
+            return self._solve_counter + 1
+
+    # ------------------------------------------------------------------
+    # Event recording
+    # ------------------------------------------------------------------
+    def record(self, kind: str, solve_id: int = 0, **data: Any) -> None:
+        """Append one event to the ledger (drop + count when full)."""
+        cfg = self.config
+        with self._lock:
+            limit = cfg.event_limit
+            if limit is not None and len(self._events) >= limit:
+                self._dropped += 1
+                return
+            self._seq += 1
+            event = LedgerEvent(seq=self._seq, solve_id=solve_id,
+                                kind=kind, data=data)
+            self._events.append(event)
+        if cfg.verbose:
+            import sys
+
+            print(f"[flight] #{event.seq} solve={solve_id} {kind} "
+                  f"{_brief(data)}", file=sys.stderr)
+
+    # ------------------------------------------------------------------
+    # Cache attribution (parallel engine)
+    # ------------------------------------------------------------------
+    def note_arc_result(self, key: str, first_solve: int,
+                        next_solve: int) -> None:
+        """Attribute an arc's cached value to the solves that made it.
+
+        ``first_solve`` is :meth:`next_solve_id` sampled before the arc
+        was computed, ``next_solve`` the same sample after — the
+        half-open id range covers exactly the solves the arc ran.
+        """
+        solve_ids = list(range(first_solve, next_solve))
+        with self._lock:
+            entry = self._provenance.setdefault(
+                key, {"solve_ids": [], "hits": 0})
+            entry["solve_ids"] = solve_ids
+        self.record("arc_result", solve_id=first_solve if solve_ids else 0,
+                    key=key, solve_ids=solve_ids)
+
+    def note_cache_hit(self, key: str) -> None:
+        """Record a cache hit, pointing back at the original solves."""
+        with self._lock:
+            entry = self._provenance.setdefault(
+                key, {"solve_ids": [], "hits": 0})
+            entry["hits"] += 1
+            origin = list(entry["solve_ids"])
+        self.record("cache_hit", key=key, origin_solve_ids=origin)
+
+    # ------------------------------------------------------------------
+    # Bundle budget
+    # ------------------------------------------------------------------
+    def claim_bundle_slot(self) -> bool:
+        """Reserve one bundle write; False once the budget is spent."""
+        with self._lock:
+            if self._bundles_written >= self.config.max_bundles:
+                return False
+            self._bundles_written += 1
+            return True
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+    def events(self) -> List[LedgerEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def provenance(self) -> Dict[str, Dict[str, Any]]:
+        with self._lock:
+            return {k: dict(v) for k, v in self._provenance.items()}
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"recorded": len(self._events),
+                    "dropped": self._dropped,
+                    "solves": self._solve_counter,
+                    "bundles": self._bundles_written}
+
+    def to_json(self) -> Dict[str, Any]:
+        """The whole ledger as one JSON-serializable dict."""
+        with self._lock:
+            events = [e.to_json() for e in self._events]
+            prov = {k: dict(v) for k, v in self._provenance.items()}
+            return {
+                "format": "repro-flight-ledger/1",
+                "events": events,
+                "dropped": self._dropped,
+                "solves": self._solve_counter,
+                "provenance": prov,
+            }
+
+
+def _brief(data: Dict[str, Any]) -> str:
+    parts = []
+    for key, value in data.items():
+        if isinstance(value, (list, dict)):
+            parts.append(f"{key}=<{len(value)}>")
+        elif isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+#: The process-wide recorder; disabled until ``configure_flight``.
+_FLIGHT = FlightRecorder(FlightConfig(enabled=False))
+
+
+def flight() -> FlightRecorder:
+    """The current process-wide flight recorder."""
+    return _FLIGHT
+
+
+def configure_flight(config: FlightConfig) -> FlightRecorder:
+    """Install a fresh recorder for ``config`` and return it."""
+    global _FLIGHT
+    _FLIGHT = FlightRecorder(config)
+    return _FLIGHT
+
+
+def disable_flight() -> FlightRecorder:
+    """Restore the default disabled recorder."""
+    return configure_flight(FlightConfig(enabled=False))
+
+
+# ----------------------------------------------------------------------
+# Run reports
+# ----------------------------------------------------------------------
+def summarize_ledger(ledger: Any) -> Dict[str, Any]:
+    """Aggregate a ledger into report-ready statistics.
+
+    Accepts a :class:`FlightRecorder` or the dict from
+    :meth:`FlightRecorder.to_json`.  Returns fallback histogram, Newton
+    iteration distribution, worst regions and cache attribution.
+    """
+    if isinstance(ledger, FlightRecorder):
+        ledger = ledger.to_json()
+    events = ledger.get("events", [])
+
+    solves: Dict[int, Dict[str, Any]] = {}
+    fallbacks: Dict[str, int] = {}
+    iteration_counts: List[int] = []
+    regions: List[Dict[str, Any]] = []
+    newton_failures: Dict[str, int] = {}
+    table_queries = 0
+
+    for event in events:
+        kind = event["kind"]
+        data = event.get("data", {})
+        sid = event.get("solve_id", 0)
+        if kind == "solve_begin":
+            solves[sid] = {"context": data, "regions": 0, "failures": 0}
+        elif kind == "newton":
+            outcome = data.get("outcome", "")
+            if outcome != "converged":
+                newton_failures[outcome] = newton_failures.get(outcome, 0) + 1
+        elif kind == "region_solved":
+            iters = int(data.get("iterations", 0))
+            iteration_counts.append(iters)
+            table_queries += int(data.get("table_queries", 0))
+            regions.append({
+                "solve_id": sid,
+                "tau": data.get("tau"),
+                "condition": data.get("condition"),
+                "iterations": iters,
+                "attempts": int(data.get("attempts", 1)),
+                "order": data.get("order"),
+                "failed": False,
+                "context": solves.get(sid, {}).get("context", {}),
+            })
+            if sid in solves:
+                solves[sid]["regions"] += 1
+        elif kind == "region_failed":
+            for reason in data.get("reasons", []):
+                fallbacks[reason] = fallbacks.get(reason, 0) + 1
+            regions.append({
+                "solve_id": sid,
+                "tau": data.get("tau"),
+                "condition": data.get("condition"),
+                "iterations": int(data.get("iterations", 0)),
+                "attempts": int(data.get("attempts", 0)),
+                "order": None,
+                "failed": True,
+                "context": solves.get(sid, {}).get("context", {}),
+            })
+            if sid in solves:
+                solves[sid]["failures"] += 1
+        elif kind == "fallback":
+            name = data.get("fallback", "unknown")
+            fallbacks[name] = fallbacks.get(name, 0) + 1
+
+    # Worst regions: failures first, then by attempts, then iterations.
+    worst = sorted(regions, key=lambda r: (not r["failed"], -r["attempts"],
+                                           -r["iterations"]))[:10]
+
+    histogram: Dict[str, int] = {}
+    for iters in iteration_counts:
+        bucket = _iteration_bucket(iters)
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+
+    provenance = ledger.get("provenance", {})
+    cache = {
+        "attributed_arcs": len(provenance),
+        "total_hits": sum(int(p.get("hits", 0)) for p in provenance.values()),
+        "hot_arcs": sorted(
+            ({"key": k, "hits": int(p.get("hits", 0)),
+              "origin_solve_ids": list(p.get("solve_ids", []))}
+             for k, p in provenance.items()),
+            key=lambda e: -e["hits"])[:10],
+    }
+
+    return {
+        "solves": ledger.get("solves", len(solves)),
+        "regions_solved": sum(1 for r in regions if not r["failed"]),
+        "regions_failed": sum(1 for r in regions if r["failed"]),
+        "events": len(events),
+        "events_dropped": int(ledger.get("dropped", 0)),
+        "table_queries": table_queries,
+        "fallback_histogram": dict(sorted(fallbacks.items())),
+        "newton_failure_reasons": dict(sorted(newton_failures.items())),
+        "iteration_distribution": {
+            "histogram": dict(sorted(histogram.items(),
+                                     key=lambda kv: _bucket_sort(kv[0]))),
+            "mean": (sum(iteration_counts) / len(iteration_counts)
+                     if iteration_counts else 0.0),
+            "max": max(iteration_counts) if iteration_counts else 0,
+        },
+        "worst_regions": worst,
+        "cache_attribution": cache,
+    }
+
+
+_ITER_BUCKETS = (1, 2, 3, 5, 8, 13, 21, 34)
+
+
+def _iteration_bucket(iters: int) -> str:
+    for edge in _ITER_BUCKETS:
+        if iters <= edge:
+            return f"<={edge}"
+    return f">{_ITER_BUCKETS[-1]}"
+
+
+def _bucket_sort(label: str) -> int:
+    return (int(label[2:]) if label.startswith("<=")
+            else _ITER_BUCKETS[-1] + 1)
+
+
+def render_report(summary: Dict[str, Any]) -> str:
+    """Render :func:`summarize_ledger` output as a text report."""
+    lines = ["flight report", "============="]
+    lines.append(f"solves: {summary['solves']}   "
+                 f"regions solved: {summary['regions_solved']}   "
+                 f"regions failed: {summary['regions_failed']}   "
+                 f"table queries: {summary['table_queries']}")
+    lines.append(f"ledger events: {summary['events']} "
+                 f"(+{summary['events_dropped']} dropped)")
+
+    lines.append("")
+    lines.append("fallback histogram")
+    lines.append("------------------")
+    if summary["fallback_histogram"]:
+        for name, count in summary["fallback_histogram"].items():
+            lines.append(f"  {name:<24} {count}")
+    else:
+        lines.append("  (no fallbacks)")
+    if summary["newton_failure_reasons"]:
+        lines.append("  failed newton attempts by reason:")
+        for name, count in summary["newton_failure_reasons"].items():
+            lines.append(f"    {name:<22} {count}")
+
+    dist = summary["iteration_distribution"]
+    lines.append("")
+    lines.append("newton iterations per region")
+    lines.append("----------------------------")
+    lines.append(f"  mean {dist['mean']:.2f}   max {dist['max']}")
+    for bucket, count in dist["histogram"].items():
+        lines.append(f"  {bucket:<6} {'#' * min(count, 60)} {count}")
+
+    lines.append("")
+    lines.append("worst regions")
+    lines.append("-------------")
+    if summary["worst_regions"]:
+        for region in summary["worst_regions"]:
+            ctx = region.get("context", {})
+            where = ctx.get("stage") or ctx.get("arc") or f"solve {region['solve_id']}"
+            status = "FAILED" if region["failed"] else "ok"
+            tau = region.get("tau")
+            tau_s = f"{tau:.4g}s" if isinstance(tau, float) else "?"
+            lines.append(
+                f"  [{status:>6}] {where}  tau={tau_s}  "
+                f"cond={_condition_brief(region.get('condition'))}  "
+                f"attempts={region['attempts']}  "
+                f"iters={region['iterations']}")
+    else:
+        lines.append("  (no regions recorded)")
+
+    cache = summary["cache_attribution"]
+    lines.append("")
+    lines.append("cache attribution")
+    lines.append("-----------------")
+    lines.append(f"  attributed arcs: {cache['attributed_arcs']}   "
+                 f"total hits: {cache['total_hits']}")
+    for arc in cache["hot_arcs"]:
+        if arc["hits"]:
+            origins = ",".join(str(s) for s in arc["origin_solve_ids"][:6])
+            lines.append(f"  {arc['hits']:>4} hits  {arc['key']}  "
+                         f"<- solves [{origins}]")
+    return "\n".join(lines)
+
+
+def _condition_brief(condition: Any) -> str:
+    if not isinstance(condition, dict):
+        return str(condition)
+    kind = condition.get("kind", "?")
+    if kind == "crossing":
+        return f"crossing@{condition.get('target', 0.0):.3g}V"
+    if kind == "time":
+        return f"time@{condition.get('t_end', 0.0):.3g}s"
+    if kind == "turn_on":
+        return f"turn_on#{condition.get('device_index')}"
+    return kind

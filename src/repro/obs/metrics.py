@@ -86,6 +86,9 @@ CATALOG: Dict[str, Tuple[str, str, Optional[Tuple[float, ...]]]] = {
     "spice.device.evaluations": (
         "counter", "golden-model device evaluations in the reference "
                    "engine", None),
+    "obs.trace.dropped": (
+        "counter", "finished spans dropped past the trace buffer limit",
+        None),
 }
 
 #: Fallback buckets for histograms not in the catalog.
@@ -392,8 +395,15 @@ def _prom_float(value: float) -> str:
     return text[:-2] if text.endswith(".0") else text
 
 
+def _prom_escape(value) -> str:
+    """Escape a label value per the text exposition format."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _prom_line(name: str, labels: dict, value) -> str:
     if labels:
-        body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+        body = ",".join(f'{k}="{_prom_escape(v)}"'
+                        for k, v in sorted(labels.items()))
         return f"{name}{{{body}}} {value}"
     return f"{name} {value}"

@@ -157,11 +157,19 @@ class Tracer:
             name=span.name, start=span._start - self._t0,
             duration=duration, attrs=span.attrs,
             thread=threading.get_ident())
+        dropped = False
         with self._lock:
             if len(self._records) < self.limit:
                 self._records.append(record)
             else:
                 self._dropped += 1
+                dropped = True
+        if dropped:
+            # Lazy import (repro.obs imports this module); a silently
+            # truncated trace must at least show up in the metrics.
+            from repro.obs import inc
+
+            inc("obs.trace.dropped")
         if self._emit_live:
             self.sink.emit("span", record.to_json())
 
@@ -217,12 +225,16 @@ def _jsonable(value: object) -> object:
 # ----------------------------------------------------------------------
 # Tree rendering (the CLI `repro stats` wall-time tree)
 # ----------------------------------------------------------------------
-def format_span_tree(records: List[SpanRecord], indent: int = 2) -> str:
+def format_span_tree(records: List[SpanRecord], indent: int = 2,
+                     dropped: int = 0) -> str:
     """Render finished spans as an aggregated wall-time tree.
 
     Sibling spans with the same name are merged into one line with a
     ``xN`` multiplicity and summed durations, which keeps per-region
-    traces readable (``qwm.region x14``).
+    traces readable (``qwm.region x14``).  ``dropped`` is the tracer's
+    drop count (:meth:`Tracer.stats`); when non-zero the tree ends with
+    an explicit truncation line so a capped buffer is never mistaken
+    for a complete trace.
     """
     children: Dict[Optional[int], List[SpanRecord]] = {}
     for record in records:
@@ -246,4 +258,8 @@ def format_span_tree(records: List[SpanRecord], indent: int = 2) -> str:
             walk([r.span_id for r in group], depth + 1)
 
     walk([None], 0)
+    if dropped:
+        lines.append(f"[trace truncated: {dropped} span"
+                     f"{'s' if dropped != 1 else ''} dropped past the "
+                     f"buffer limit]")
     return "\n".join(lines)

@@ -1,9 +1,29 @@
 """Shared fixtures: one characterized technology for the whole session."""
 
+import os
+
 import pytest
 
 from repro.devices import CMOSP35, TableModelLibrary, nmos_model, pmos_model
 from repro.core import WaveformEvaluator
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _flight_bundles_from_env():
+    """CI forensics hook: ``REPRO_FLIGHT_BUNDLES=DIR`` enables the
+    flight recorder with bundle capture for the whole test session, so
+    a failing solve leaves a replayable debug bundle under DIR that the
+    workflow uploads as an artifact."""
+    directory = os.environ.get("REPRO_FLIGHT_BUNDLES")
+    if not directory:
+        yield
+        return
+    from repro.obs import FlightConfig, configure_flight, disable_flight
+
+    configure_flight(FlightConfig(enabled=True, capture_bundles=True,
+                                  bundle_dir=directory))
+    yield
+    disable_flight()
 
 
 @pytest.fixture(scope="session")

@@ -409,3 +409,72 @@ class TestSolverIntegration:
         assert overhead < 0.05 * stats.wall_time, (
             f"disabled telemetry overhead {overhead * 1e6:.1f}us vs "
             f"solve {stats.wall_time * 1e6:.1f}us")
+
+
+class TestPrometheusExposition:
+    """Wire-format conformance for the text exposition 0.0.4."""
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("files.scanned").inc(
+            2, path='a"b\\c\nd', kind="netlist")
+        text = registry.to_prometheus()
+        assert ('files_scanned{kind="netlist",'
+                'path="a\\"b\\\\c\\nd"} 2.0') in text
+        # The escaped payload still fits on one physical line.
+        lines = [ln for ln in text.splitlines()
+                 if ln.startswith("files_scanned{")]
+        assert len(lines) == 1
+
+    def test_round_trip_parse_back(self):
+        registry = MetricsRegistry()
+        registry.counter("solves").inc(4, gate="nand2")
+        registry.counter("solves").inc(1, gate="inv")
+        registry.gauge("speedup").set(31.6)
+        parsed = {}
+        for line in registry.to_prometheus().splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            name, value = line.rsplit(" ", 1)
+            parsed[name] = float(value)
+        assert parsed['solves{gate="nand2"}'] == 4.0
+        assert parsed['solves{gate="inv"}'] == 1.0
+        assert parsed["speedup"] == 31.6
+
+    def test_histogram_buckets_cumulative_and_ordered(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("iters", buckets=(1.0, 3.0, 8.0))
+        for value in (0.5, 2.0, 2.5, 5.0, 99.0):
+            hist.observe(value)
+        lines = [ln for ln in registry.to_prometheus().splitlines()
+                 if ln.startswith("iters_bucket")]
+        bounds = [ln.split('le="')[1].split('"')[0] for ln in lines]
+        counts = [float(ln.rsplit(" ", 1)[1]) for ln in lines]
+        # Buckets appear in ascending order ending at +Inf, and the
+        # counts are cumulative (monotone non-decreasing).
+        assert bounds == ["1", "3", "8", "+Inf"]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5.0
+        text = registry.to_prometheus()
+        assert "iters_sum" in text and "iters_count 5" in text
+
+
+class TestTraceDropVisibility:
+    def test_dropped_spans_feed_counter_and_tree_footer(self):
+        configure(ObsConfig(enabled=True, trace_limit=2))
+        for _ in range(5):
+            with span("s"):
+                pass
+        bundle = telemetry()
+        assert bundle.tracer.stats() == {"recorded": 2, "dropped": 3}
+        assert bundle.metrics.counter("obs.trace.dropped").value() == 3
+        text = format_span_tree(bundle.tracer.records(),
+                                dropped=bundle.tracer.stats()["dropped"])
+        assert "trace truncated: 3 spans dropped" in text
+
+    def test_no_footer_when_nothing_dropped(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        text = format_span_tree(tracer.records(), dropped=0)
+        assert "truncated" not in text
