@@ -34,12 +34,13 @@ import hashlib
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
-from concurrent.futures import (FIRST_COMPLETED, Executor,
-                                ProcessPoolExecutor, ThreadPoolExecutor,
-                                wait)
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                Executor, ProcessPoolExecutor,
+                                ThreadPoolExecutor, wait)
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.analysis.sta import (ArcFn, ArrivalTime, Event, StaResult,
                                 StaticTimingAnalyzer,
@@ -49,15 +50,18 @@ from repro.circuit.netlist import LogicStage
 from repro.circuit.stage import StageGraph
 from repro.obs import inc, set_gauge, span
 from repro.obs.flight import flight
+from repro.resilience import faults
 from repro.spice.results import SimulationStats
 
 BACKENDS = ("serial", "thread", "process")
 
 #: (fingerprint, arc id) -> cached arc result.
 CacheKey = Tuple[str, str]
-#: Cached arc value: (delay, output_slew) or None (arc not
-#: sensitizable — caching the failure avoids re-proving it).
-CachedArc = Optional[Tuple[float, Optional[float]]]
+#: Cached arc value: (delay, output_slew, quality) or None (arc not
+#: sensitizable — caching the failure avoids re-proving it).  The
+#: quality element is the escalation-ladder rung that produced the
+#: numbers (see :mod:`repro.resilience.ladder`).
+CachedArc = Optional[Tuple[float, Optional[float], Optional[str]]]
 
 _MISS = object()
 
@@ -85,6 +89,12 @@ class ExecutionConfig:
             slew is solved, not approximated from a neighbor) but no
             longer match the serial no-bucket arithmetic — leave None
             (exact keys) when bit-identical arrivals matter.
+        stage_timeout: optional wall-clock watchdog per dispatched
+            stage task [s].  A pooled task that exceeds it is
+            abandoned (its worker may be hung) and the stage is
+            re-dispatched into the main process; None disables the
+            watchdog (the default — polling costs a wake-up every
+            quarter-timeout).
     """
 
     workers: int = 1
@@ -93,6 +103,7 @@ class ExecutionConfig:
     cache_size: int = 4096
     cache_path: Optional[str] = None
     cache_slew_bucket: Optional[float] = None
+    stage_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -105,6 +116,8 @@ class ExecutionConfig:
         if self.cache_slew_bucket is not None \
                 and self.cache_slew_bucket <= 0:
             raise ValueError("cache_slew_bucket must be positive")
+        if self.stage_timeout is not None and self.stage_timeout <= 0:
+            raise ValueError("stage_timeout must be positive or None")
 
     @property
     def wants_cache(self) -> bool:
@@ -271,7 +284,7 @@ class StageResultCache:
             is fine) and written by :meth:`save`.
     """
 
-    VERSION = 1
+    VERSION = 2
 
     def __init__(self, max_entries: int = 4096,
                  path: Optional[str] = None):
@@ -343,25 +356,56 @@ class StageResultCache:
             self.put(key, value)
 
     # ------------------------------------------------------------------
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt store aside so it never crashes a run again.
+
+        The original bytes are preserved (``<path>.corrupt``) for
+        post-mortem; the analysis proceeds with a cold cache.
+        """
+        inc("cache.store_corrupt", reason="parse")
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            pass
+
     def load(self, path: str) -> int:
-        """Load a JSON store (merging into the LRU); returns entry count."""
-        with open(path) as handle:
-            document = json.load(handle)
-        if document.get("version") != self.VERSION:
-            raise ValueError(
-                f"cache store {path!r} has version "
-                f"{document.get('version')!r}, expected {self.VERSION}")
-        count = 0
-        for joined, value in document.get("entries", {}).items():
-            fingerprint, _, arc = joined.partition("/")
-            cached: CachedArc = None
-            if value is not None:
-                delay, out_slew = value
-                cached = (float(delay),
-                          None if out_slew is None else float(out_slew))
-            self.put((fingerprint, arc), cached)
-            count += 1
-        return count
+        """Load a JSON store (merging into the LRU); returns entry count.
+
+        Robust by design: a truncated or corrupted store (a crash
+        mid-write, a bad copy) is a *cache miss*, not a fatal error —
+        the file is quarantined to ``<path>.corrupt``, the
+        ``cache.store_corrupt`` counter increments, and 0 entries
+        load.  A store written by a different format version is
+        ignored (counted, not quarantined — it is valid, just stale).
+        """
+        loaded: List[Tuple[CacheKey, CachedArc]] = []
+        try:
+            with open(path) as handle:
+                document = json.load(handle)
+            if not isinstance(document, dict) \
+                    or not isinstance(document.get("entries", {}), dict):
+                raise ValueError("malformed store document")
+            if document.get("version") != self.VERSION:
+                inc("cache.store_corrupt", reason="version")
+                return 0
+            for joined, value in document.get("entries", {}).items():
+                fingerprint, _, arc = joined.partition("/")
+                cached: CachedArc = None
+                if value is not None:
+                    delay, out_slew = value[0], value[1]
+                    quality = value[2] if len(value) > 2 else None
+                    cached = (float(delay),
+                              None if out_slew is None
+                              else float(out_slew),
+                              None if quality is None else str(quality))
+                loaded.append(((fingerprint, arc), cached))
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError,
+                TypeError, IndexError, KeyError):
+            self._quarantine(path)
+            return 0
+        for key, cached in loaded:
+            self.put(key, cached)
+        return len(loaded)
 
     def save(self, path: Optional[str] = None) -> str:
         """Write the JSON store (defaults to the construction path)."""
@@ -370,7 +414,9 @@ class StageResultCache:
             raise ValueError("no store path configured")
         with self._lock:
             entries = {f"{fp}/{arc}": (None if value is None
-                                       else [value[0], value[1]])
+                                       else [value[0], value[1],
+                                             (value[2] if len(value) > 2
+                                              else None)])
                        for (fp, arc), value in self._data.items()}
         document = {"version": self.VERSION, "entries": entries}
         directory = os.path.dirname(os.path.abspath(target))
@@ -461,7 +507,8 @@ _WORKER_ANALYZER: Optional[StaticTimingAnalyzer] = None
 
 
 def _process_worker_init(tech, library, options, propagate_slews,
-                         input_slew, flight_config=None) -> None:
+                         input_slew, flight_config=None,
+                         fault_plan=None) -> None:
     global _WORKER_ANALYZER
     _WORKER_ANALYZER = StaticTimingAnalyzer(
         tech, library=library, options=options,
@@ -472,6 +519,13 @@ def _process_worker_init(tech, library, options, propagate_slews,
         from repro.obs.flight import configure_flight
 
         configure_flight(flight_config)
+    # Fault plans follow the work into the pool so worker-scoped
+    # faults (crash/hang) and solver faults fire where the chaos
+    # harness aimed them; the worker marks itself so crash faults can
+    # never fire in the parent re-dispatch path.
+    faults.mark_worker_process()
+    if fault_plan is not None:
+        faults.install(fault_plan)
 
 
 def _process_stage_task(stage: LogicStage,
@@ -487,6 +541,7 @@ def _process_stage_task(stage: LogicStage,
     """
     analyzer = _WORKER_ANALYZER
     assert analyzer is not None, "worker pool initializer did not run"
+    faults.worker_gate(stage.name)
     stats = SimulationStats()
     new_entries: Dict[CacheKey, CachedArc] = {}
     hit_count = 0
@@ -622,7 +677,8 @@ class ParallelStaEngine:
             initializer=_process_worker_init,
             initargs=(self.analyzer.tech, evaluator.library,
                       evaluator.options, self.analyzer.propagate_slews,
-                      self.analyzer.input_slew, flight().config))
+                      self.analyzer.input_slew, flight().config,
+                      faults.active_plan()))
 
     def _run_pooled(self, graph: StageGraph, order: List[LogicStage],
                     arrivals: Dict[Event, ArrivalTime],
@@ -635,6 +691,22 @@ class ParallelStaEngine:
         there is no per-level barrier, so a deep narrow cone and a wide
         shallow one overlap freely.  The main thread owns ``arrivals``
         and the cache merge; workers only ever see immutable snapshots.
+
+        Worker failures degrade, they do not kill the run:
+
+        * a *dead pool* (a worker segfaulted / was OOM-killed) drains
+          every in-flight stage into the main process, pins those
+          stages serial, and rebuilds the pool for the rest;
+        * an ordinary *task exception* gets one serial retry in the
+          main process (a deterministic bug then re-raises there, with
+          a real traceback);
+        * with ``config.stage_timeout`` set, a task that outlives its
+          watchdog is abandoned (its worker may be hung) and the stage
+          is re-dispatched serially.
+
+        Each recovery increments ``sta.parallel.redispatch`` and — when
+        the flight recorder is on — records an ``escalation`` event
+        with ``from_rung="worker"``.
         """
         analyzer = self.analyzer
         config = self.config
@@ -657,6 +729,42 @@ class ParallelStaEngine:
 
         executor = self._make_executor()
         futures: Dict[object, LogicStage] = {}
+        submitted_at: Dict[object, float] = {}
+        serial_only: Set[str] = set()
+        retried: Set[str] = set()
+        abandoned_workers = False
+
+        def complete(stage: LogicStage,
+                     computed: Dict[Event, ArrivalTime],
+                     stats: SimulationStats) -> None:
+            arrivals.update(computed)
+            stats_by_stage[stage.name] = stats
+            wave = waves[stage.name]
+            wave_pending[wave] -= 1
+            if wave_pending[wave] == 0 and wave in wave_spans:
+                wave_spans.pop(wave).__exit__(None, None, None)
+            for successor in graph.graph.successors(stage.name):
+                if successor == stage.name \
+                        or successor not in indegree:
+                    continue
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    submit(by_name[successor])
+
+        def run_in_parent(stage: LogicStage, reason: str) -> None:
+            """Serial re-dispatch: same arc math, main process."""
+            inc("sta.parallel.redispatch", reason=reason)
+            fl = flight()
+            if fl.enabled:
+                fl.record("escalation", from_rung="worker",
+                          to_rung="serial", reason=reason,
+                          stage=stage.name)
+            with span("sta.stage.task", stage=stage.name,
+                      wave=waves[stage.name], redispatch=reason):
+                computed, stats = _evaluate_stage(
+                    analyzer, stage, arrivals, self.cache,
+                    forms[stage.name], config.cache_slew_bucket)
+            complete(stage, computed, stats)
 
         def submit(stage: LogicStage) -> None:
             wave = waves[stage.name]
@@ -667,6 +775,9 @@ class ParallelStaEngine:
                 handle.__enter__()
                 wave_spans[wave] = handle
             inc("sta.parallel.dispatch", backend=config.backend)
+            if stage.name in serial_only:
+                run_in_parent(stage, "serial_only")
+                return
             form = forms[stage.name]
             if config.backend == "thread":
                 future = executor.submit(
@@ -685,40 +796,93 @@ class ParallelStaEngine:
                     _process_stage_task, stage, snapshot, form,
                     shipped, config.cache_slew_bucket)
             futures[future] = stage
+            submitted_at[future] = time.monotonic()
 
+        def merge_payload(stage: LogicStage, payload) -> None:
+            if config.backend == "thread":
+                computed, stats = payload
+            else:
+                computed, stats, new_entries, hit_count = payload
+                if self.cache is not None:
+                    self.cache.merge(new_entries)
+                    self.cache.record_external(
+                        hit_count, len(new_entries))
+            complete(stage, computed, stats)
+
+        def recover_broken_pool(first_casualty: LogicStage) -> None:
+            """A worker died and took the pool with it.
+
+            ``first_casualty`` is the stage whose future surfaced the
+            breakage (already popped by the caller).  It and every
+            in-flight stage re-run in the main process (and stay
+            serial for any resubmission — a deterministic crasher
+            must not kill the replacement pool too), then a fresh
+            pool takes over the remaining graph.
+            """
+            nonlocal executor
+            casualties = [first_casualty]
+            casualties.extend(futures.values())
+            futures.clear()
+            submitted_at.clear()
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            executor = self._make_executor()
+            for stage in casualties:
+                serial_only.add(stage.name)
+            for stage in casualties:
+                run_in_parent(stage, "worker_crash")
+
+        poll = (max(0.02, config.stage_timeout / 4.0)
+                if config.stage_timeout is not None else None)
         try:
             for stage in order:
                 if indegree[stage.name] == 0:
                     submit(stage)
             while futures:
-                done, _ = wait(list(futures),
+                done, _ = wait(list(futures), timeout=poll,
                                return_when=FIRST_COMPLETED)
                 for future in done:
+                    if future not in futures:
+                        continue
                     stage = futures.pop(future)
-                    payload = future.result()
-                    if config.backend == "thread":
-                        computed, stats = payload
-                    else:
-                        computed, stats, new_entries, hit_count = payload
-                        if self.cache is not None:
-                            self.cache.merge(new_entries)
-                            self.cache.record_external(
-                                hit_count, len(new_entries))
-                    arrivals.update(computed)
-                    stats_by_stage[stage.name] = stats
-                    wave = waves[stage.name]
-                    wave_pending[wave] -= 1
-                    if wave_pending[wave] == 0 and wave in wave_spans:
-                        wave_spans.pop(wave).__exit__(None, None, None)
-                    for successor in graph.graph.successors(stage.name):
-                        if successor == stage.name \
-                                or successor not in indegree:
+                    submitted_at.pop(future, None)
+                    try:
+                        payload = future.result()
+                    except BrokenExecutor:
+                        recover_broken_pool(stage)
+                        break
+                    except Exception:
+                        # One serial retry: a worker-only fault (or a
+                        # transient environment failure) is absorbed; a
+                        # deterministic bug re-raises with a main-
+                        # process traceback.
+                        if stage.name in retried:
+                            raise
+                        retried.add(stage.name)
+                        run_in_parent(stage, "task_error")
+                        continue
+                    merge_payload(stage, payload)
+                if config.stage_timeout is not None:
+                    now = time.monotonic()
+                    overdue = [f for f, t0 in submitted_at.items()
+                               if now - t0 > config.stage_timeout]
+                    for future in overdue:
+                        stage = futures.pop(future, None)
+                        submitted_at.pop(future, None)
+                        if stage is None:
                             continue
-                        indegree[successor] -= 1
-                        if indegree[successor] == 0:
-                            submit(by_name[successor])
+                        future.cancel()
+                        abandoned_workers = True
+                        serial_only.add(stage.name)
+                        run_in_parent(stage, "stage_timeout")
         finally:
             for handle in wave_spans.values():
                 handle.__exit__(None, None, None)
-            executor.shutdown(wait=True, cancel_futures=True)
+            # A hung worker would block a waiting shutdown forever;
+            # once any task has been abandoned, leave the pool to
+            # reap itself.
+            executor.shutdown(wait=not abandoned_workers,
+                              cancel_futures=True)
         return stats_by_stage

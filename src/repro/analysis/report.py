@@ -33,6 +33,9 @@ def arrival_report(result: StaResult, limit: Optional[int] = None) -> str:
     for arrival in rows:
         cause = (f"{arrival.cause[0]} ({arrival.cause[1]})"
                  if arrival.cause else "primary input")
+        quality = getattr(arrival, "quality", None)
+        if quality is not None and quality != "qwm":
+            cause += f" [{quality}]"
         lines.append(f"{arrival.net:<14}{arrival.direction:<7}"
                      f"{_fmt_ps(arrival.time):>12}  {cause}")
     return "\n".join(lines)
@@ -111,4 +114,15 @@ def design_summary(graph: StageGraph, result: StaResult) -> str:
             f"{stats.newton_iterations} Newton iterations, "
             f"{stats.device_evaluations} device evaluations, "
             f"{stats.wall_time * 1e3:.1f} ms solve time")
+    degraded = result.degraded() if hasattr(result, "degraded") else {}
+    if degraded:
+        by_quality: Dict[str, int] = {}
+        for arrival in degraded.values():
+            by_quality[arrival.quality] = \
+                by_quality.get(arrival.quality, 0) + 1
+        detail = ", ".join(f"{count} {quality}" for quality, count
+                           in sorted(by_quality.items()))
+        lines.append(
+            f"Degraded arrivals: {len(degraded)} of "
+            f"{len(result.arrivals)} via fallback rungs ({detail})")
     return "\n".join(lines)

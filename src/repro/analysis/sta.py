@@ -30,6 +30,14 @@ from repro.devices.table_model import TableModelLibrary
 from repro.devices.technology import Technology
 from repro.obs import inc, observe, span
 from repro.obs.flight import flight
+from repro.resilience import faults
+from repro.resilience.ladder import (
+    QUALITY_QWM,
+    ArcSolveError,
+    EscalationLadder,
+    EscalationPolicy,
+    merge_quality,
+)
 from repro.spice.results import SimulationStats
 from repro.spice.sources import ConstantSource, RampSource, StepSource
 
@@ -39,12 +47,19 @@ Event = Tuple[str, str]
 #: Reusable no-op context (flight recorder disabled on the hot path).
 _NULL_CTX = nullcontext()
 
+#: One evaluated arc: (delay, output_slew, quality) where quality is a
+#: rung tag from :data:`repro.resilience.ladder.QUALITY_ORDER` (None
+#: from arc sources that predate the ladder, e.g. memoized wrappers).
+Arc = Tuple[float, Optional[float], Optional[str]]
+
 #: Arc evaluation callback: (stage, output, out_direction, input,
-#: input_slew) -> (delay, output_slew) or None.  The scheduler-agnostic
-#: per-stage arrival computation is written against this signature so
-#: the serial loop and the parallel workers share one implementation.
+#: input_slew) -> (delay, output_slew, quality) or None.  The
+#: scheduler-agnostic per-stage arrival computation is written against
+#: this signature so the serial loop and the parallel workers share one
+#: implementation; legacy two-element tuples are still accepted (their
+#: quality reads as None).
 ArcFn = Callable[[LogicStage, str, str, str, Optional[float]],
-                 Optional[Tuple[float, Optional[float]]]]
+                 Optional[Tuple]]
 
 
 @dataclass(frozen=True)
@@ -58,6 +73,10 @@ class ArrivalTime:
         cause: the (net, direction) event that produced it, if any.
         slew: full-swing transition time of the arriving edge [s]
             (None when slews are not propagated).
+        quality: the worst escalation-ladder rung on this arrival's
+            causal chain (``qwm | qwm-retry | spice | bounded``; see
+            :mod:`repro.resilience.ladder`).  None for primary inputs
+            and arc sources that do not report quality.
     """
 
     net: str
@@ -65,6 +84,7 @@ class ArrivalTime:
     time: float
     cause: Optional[Event] = None
     slew: Optional[float] = None
+    quality: Optional[str] = None
 
 
 @dataclass
@@ -87,6 +107,12 @@ class StaResult:
 
     def arrival(self, net: str, direction: str) -> Optional[ArrivalTime]:
         return self.arrivals.get((net, direction))
+
+    def degraded(self) -> Dict[Event, ArrivalTime]:
+        """Arrivals whose quality fell below the plain QWM rung."""
+        return {event: arrival
+                for event, arrival in self.arrivals.items()
+                if arrival.quality not in (None, QUALITY_QWM)}
 
 
 def _opposite(direction: str) -> str:
@@ -129,13 +155,15 @@ def compute_stage_arrivals(stage: LogicStage,
                              input_name, input_slew)
                 if arc is None:
                     continue
-                delay, out_slew = arc
+                delay, out_slew = arc[0], arc[1]
+                quality = arc[2] if len(arc) > 2 else None
                 t = src.time + delay
                 if best is None or t > best.time:
                     best = ArrivalTime(
                         net=out_node.name, direction=out_dir,
                         time=t, cause=(input_name, in_dir),
-                        slew=out_slew if propagate_slews else None)
+                        slew=out_slew if propagate_slews else None,
+                        quality=merge_quality(quality, src.quality))
             if best is not None:
                 key = (out_node.name, out_dir)
                 existing = lookup(key)
@@ -211,7 +239,8 @@ class StaticTimingAnalyzer:
                  input_slew: float = 20e-12,
                  preflight: bool = False,
                  execution: Optional["ExecutionConfig"] = None,
-                 cache: Optional["StageResultCache"] = None):
+                 cache: Optional["StageResultCache"] = None,
+                 resilience: Optional[EscalationPolicy] = None):
         """
         Args:
             tech: process technology.
@@ -237,6 +266,12 @@ class StaticTimingAnalyzer:
             cache: optional shared
                 :class:`repro.analysis.parallel.StageResultCache`
                 reused across analyzers/runs for stage-result reuse.
+            resilience: escalation policy for failed arc solves (see
+                :class:`repro.resilience.ladder.EscalationPolicy`).
+                Defaults to an enabled default-policy ladder — arcs
+                degrade ``qwm → qwm-retry → spice → bounded`` instead
+                of raising; pass ``EscalationPolicy(enabled=False)``
+                for the legacy fail-fast behavior.
         """
         self.tech = tech
         self.evaluator = WaveformEvaluator(tech, library=library,
@@ -246,6 +281,13 @@ class StaticTimingAnalyzer:
         self.preflight = preflight
         self.execution = execution
         self.cache = cache
+        self.resilience = resilience or EscalationPolicy()
+        self._ladder = (EscalationLadder(self, self.resilience)
+                        if self.resilience.enabled else None)
+        # Quality tag of the most recent stage_arc (read by
+        # serial_arc_fn after routing through the patchable
+        # stage_delay, whose float-only signature predates quality).
+        self._last_quality: Optional[str] = None
         # Accumulates per-arc QWM stats while analyze() runs (None
         # outside a run, so standalone stage_arc calls skip it).
         self._run_stats: Optional[SimulationStats] = None
@@ -255,12 +297,18 @@ class StaticTimingAnalyzer:
                   out_direction: str, switching_input: str,
                   input_slew: Optional[float] = None,
                   stats: Optional[SimulationStats] = None
-                  ) -> Optional[Tuple[float, Optional[float]]]:
-        """Evaluate one arc: returns (delay, output_slew) or None.
+                  ) -> Optional[Arc]:
+        """Evaluate one arc: returns (delay, output_slew, quality) or None.
 
         The delay is measured from the switching input's 50% crossing;
         the output slew is the full-swing tangent-ramp time of the QWM
-        output waveform (None if unfittable).
+        output waveform (None if unfittable); quality is the escalation
+        rung that produced the numbers (``qwm`` when nothing escalated).
+
+        With the (default) resilience ladder enabled, a failed QWM
+        solve degrades through retry, adaptive-SPICE and switch-level
+        rungs instead of raising; None still means the arc is
+        unsensitizable — that verdict never escalates.
 
         Args:
             stats: optional accumulator receiving the QWM cost of every
@@ -277,50 +325,94 @@ class StaticTimingAnalyzer:
         else:
             source = StepSource(v0, v1, 0.0)
             t_input = 0.0
-        solution = None
         arc_start = time.perf_counter()
+        self._last_quality = None
         fl = flight()
         arc_ctx = (fl.context(arc_input=switching_input)
                    if fl.enabled else _NULL_CTX)
+        result: Optional[Arc]
         with span("sta.stage", stage=stage.name, output=output,
                   direction=out_direction, input=switching_input), \
-                arc_ctx:
-            for levels in self._sensitizations(stage, switching_input,
-                                               out_direction):
-                inputs = {switching_input: source}
-                inputs.update({name: ConstantSource(level)
-                               for name, level in levels.items()})
+                arc_ctx, \
+                faults.scope(stage=stage.name, arc_start=arc_start):
+            def qwm_attempt(evaluator: WaveformEvaluator
+                            ) -> Optional[Tuple[float, Optional[float]]]:
+                return self._qwm_attempt(evaluator, stage, output,
+                                         out_direction, switching_input,
+                                         source, t_input, stats)
+
+            if self._ladder is not None:
+                result = self._ladder.evaluate_arc(
+                    stage, output, out_direction, switching_input,
+                    input_slew, stats, qwm_attempt)
+            else:
                 try:
-                    candidate = self.evaluator.evaluate(
-                        stage, output, out_direction, inputs,
-                        precharge="dc")
-                except ValueError:
-                    continue
-                inc("sta.stage.solves")
-                # The run total counts every solve actually performed,
-                # including sensitizations rejected just below.
-                if stats is not None:
-                    stats.accumulate(candidate.stats)
-                elif self._run_stats is not None:
-                    self._run_stats = self._run_stats + candidate.stats
-                # A real arc starts on the far side of mid-rail: if the
-                # DC pre-state already holds the output at its final
-                # logic value, this sensitization produces no
-                # transition.
-                v_start = candidate.output_waveform.value(0.0)
-                if out_direction == "fall" and v_start < 0.55 * vdd:
-                    continue
-                if out_direction == "rise" and v_start > 0.45 * vdd:
-                    continue
-                solution = candidate
-                break
+                    arc = qwm_attempt(self.evaluator)
+                except ArcSolveError:
+                    arc = None
+                result = ((arc[0], arc[1], QUALITY_QWM)
+                          if arc is not None else None)
         observe("sta.stage.wall_seconds",
                 time.perf_counter() - arc_start)
+        if result is None:
+            return None
+        self._last_quality = result[2]
+        inc("resilience.arc.quality", quality=result[2])
+        return result
+
+    def _qwm_attempt(self, evaluator: WaveformEvaluator,
+                     stage: LogicStage, output: str, out_direction: str,
+                     switching_input: str, source, t_input: float,
+                     stats: Optional[SimulationStats]
+                     ) -> Optional[Tuple[float, Optional[float]]]:
+        """One full QWM sensitization sweep with the given evaluator.
+
+        Returns (delay, slew), or None when no sensitization produces a
+        genuine transition (the arc is unsensitizable).  A transition
+        that was found but whose accepted waveform never crosses
+        mid-rail — the signature of a region-schedule failure — raises
+        :class:`ArcSolveError` so the escalation ladder can tell
+        "solver failed" from "no such arc".
+        """
+        vdd = stage.vdd
+        solution = None
+        for levels in self._sensitizations(stage, switching_input,
+                                           out_direction):
+            inputs = {switching_input: source}
+            inputs.update({name: ConstantSource(level)
+                           for name, level in levels.items()})
+            try:
+                candidate = evaluator.evaluate(
+                    stage, output, out_direction, inputs,
+                    precharge="dc")
+            except ValueError:
+                continue
+            inc("sta.stage.solves")
+            # The run total counts every solve actually performed,
+            # including sensitizations rejected just below.
+            if stats is not None:
+                stats.accumulate(candidate.stats)
+            elif self._run_stats is not None:
+                self._run_stats = self._run_stats + candidate.stats
+            # A real arc starts on the far side of mid-rail: if the
+            # DC pre-state already holds the output at its final
+            # logic value, this sensitization produces no
+            # transition.
+            v_start = candidate.output_waveform.value(0.0)
+            if out_direction == "fall" and v_start < 0.55 * vdd:
+                continue
+            if out_direction == "rise" and v_start > 0.45 * vdd:
+                continue
+            solution = candidate
+            break
         if solution is None:
             return None
         delay = solution.delay(t_input=t_input)
         if delay is None:
-            return None
+            raise ArcSolveError(
+                f"QWM accepted a transition for {stage.name}:{output} "
+                f"{out_direction} via {switching_input} but its "
+                f"waveform never crosses mid-rail")
         fit = solution.output_waveform.tangent_ramp(vdd)
         out_slew = fit[1] if fit is not None else None
         return delay, out_slew
@@ -439,15 +531,21 @@ class StaticTimingAnalyzer:
         """
         def arc_fn(stage: LogicStage, output: str, out_direction: str,
                    switching_input: str, input_slew: Optional[float]
-                   ) -> Optional[Tuple[float, Optional[float]]]:
+                   ) -> Optional[Arc]:
             if self.propagate_slews:
                 return self.stage_arc(stage, output, out_direction,
                                       switching_input,
                                       input_slew=input_slew,
                                       stats=stats)
+            # Reset the stash first: a patched stage_delay that answers
+            # from its memo never reaches stage_arc, and a stale tag
+            # from the previous arc must not leak onto this one.
+            self._last_quality = None
             delay = self.stage_delay(stage, output, out_direction,
                                      switching_input)
-            return None if delay is None else (delay, None)
+            if delay is None:
+                return None
+            return (delay, None, self._last_quality)
         return arc_fn
 
     def _analyze(self, graph: StageGraph,

@@ -11,6 +11,10 @@ Commands
     stages on a worker pool (identical arrivals, see
     :mod:`repro.analysis.parallel`); ``--cache`` / ``--cache-file``
     reuse solved arcs across isomorphic stages and runs.
+    ``--no-escalation`` restores fail-fast arc solves (by default a
+    failed solve degrades down the resilience ladder and the arrival
+    is tagged with the absorbing rung, see
+    :mod:`repro.resilience.ladder`).
 
 ``simulate DECK.sp --input a=step:0:3.3:20p --node out``
     Transient-simulate a single-stage deck with the reference engine
@@ -47,6 +51,17 @@ Commands
     distribution, worst regions, cache attribution.  Without a deck a
     built-in ``--bits`` address decoder is timed.  ``--json`` emits
     the aggregated summary instead.
+
+``chaos``
+    Run the deterministic fault-injection scenario matrix
+    (:mod:`repro.resilience.chaos`): every fault class — NaN table
+    cells, forced Newton non-convergence, worker crashes/hangs,
+    cache-store truncation, stage timeouts — is injected under a
+    fixed ``--seed`` against a built-in decoder, and the report says
+    which escalation rung absorbed each one (exit 1 if any scenario
+    is not absorbed).  ``--scenario NAME`` narrows the matrix
+    (repeatable, see ``--list``); ``--json`` emits the
+    machine-readable report.
 
 ``bench-diff``
     Compare the last two entries of the benchmark history ledger
@@ -143,15 +158,22 @@ def _cmd_sta(args: argparse.Namespace) -> int:
             cache = StageResultCache(max_entries=execution.cache_size,
                                      path=args.cache_file)
 
+    resilience = None
+    if args.no_escalation:
+        from repro.resilience.ladder import EscalationPolicy
+
+        resilience = EscalationPolicy(enabled=False)
+
     def run(technology):
         netlist = parse_spice_netlist(text, technology, name=args.deck)
         graph = extract_stages(netlist, tech=technology)
-        if parallel:
+        if parallel or resilience is not None:
             from repro.analysis import StaticTimingAnalyzer
 
             analyzer = StaticTimingAnalyzer(technology,
                                             execution=execution,
-                                            cache=cache)
+                                            cache=cache,
+                                            resilience=resilience)
             return graph, analyzer.analyze(graph)
         timer = IncrementalTimer(technology, graph)
         return graph, timer.analyze()
@@ -542,6 +564,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience.chaos import (default_scenarios, format_report,
+                                        run_matrix)
+
+    if args.list:
+        for scenario in default_scenarios("<target>"):
+            print(f"{scenario.name:<18} {scenario.description}")
+        return 0
+    report = run_matrix(seed=args.seed, bits=args.bits,
+                        only=args.scenario or None)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    return 0 if report.absorbed_all else 1
+
+
 #: Relative change beyond which ``bench-diff`` flags a regression.
 BENCH_DIFF_THRESHOLD_PCT = 10.0
 
@@ -645,6 +684,10 @@ def build_parser() -> argparse.ArgumentParser:
     sta.add_argument("--cache-file", metavar="FILE", default=None,
                      help="persist the stage cache to a JSON store "
                           "(implies --cache; loaded before the run)")
+    sta.add_argument("--no-escalation", action="store_true",
+                     help="disable the resilience ladder: a failed "
+                          "arc solve raises instead of degrading to "
+                          "retry/SPICE/bound rungs")
     sta.set_defaults(func=_cmd_sta)
 
     sim = sub.add_parser("simulate",
@@ -748,6 +791,24 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--json", action="store_true",
                      help="emit the aggregated summary as JSON")
     rep.set_defaults(func=_cmd_report)
+
+    chaos = sub.add_parser("chaos",
+                           help="deterministic fault-injection "
+                                "scenario matrix")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed (same seed, same "
+                            "injections, same absorbing rungs)")
+    chaos.add_argument("--bits", type=int, default=2,
+                       help="address bits of the built-in decoder "
+                            "the faults are injected into")
+    chaos.add_argument("--scenario", action="append", metavar="NAME",
+                       help="run only this scenario (repeatable; "
+                            "see --list)")
+    chaos.add_argument("--list", action="store_true",
+                       help="list the scenario matrix and exit")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the machine-readable report")
+    chaos.set_defaults(func=_cmd_chaos)
 
     bdiff = sub.add_parser("bench-diff",
                            help="flag regressions between the last two "

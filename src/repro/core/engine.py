@@ -27,8 +27,10 @@ from typing import Dict, Optional
 from repro.circuit.netlist import LogicStage
 from repro.core.path import DischargePath, extract_path
 from repro.core.qwm import QWMOptions, QWMSolution, QWMSolver
+from repro.linalg.newton import NewtonConvergenceError
 from repro.obs import inc, span
 from repro.obs.flight import flight
+from repro.resilience import faults
 from repro.devices.table_model import TableModelLibrary
 from repro.devices.technology import Technology
 from repro.spice.sources import SourceLike, as_source
@@ -149,11 +151,16 @@ class WaveformEvaluator:
         guess = np.array([seed[name] for name in equations.node_names])
         try:
             solution = solve_dc(equations, levels, initial_guess=guess)
-        except Exception:
+        except (NewtonConvergenceError, np.linalg.LinAlgError,
+                FloatingPointError, ZeroDivisionError,
+                OverflowError) as exc:
             # A pathological bias (usually a floating pass-transistor
             # net) can defeat the DC continuation; the analytic
             # threshold-degraded estimate is the robust fallback.
-            inc("engine.dc_fallback")
+            # Only numerical failures are absorbed — a TypeError or a
+            # bad stage description must surface, not silently
+            # degrade the initial condition.
+            inc("engine.dc_fallback", exc=type(exc).__name__)
             return self.default_initial(path, "degraded")
         return {name: float(solution[equations.node_index(name)])
                 for name in path.node_names}
@@ -179,6 +186,7 @@ class WaveformEvaluator:
         Returns:
             The QWM solution (waveforms + stats).
         """
+        faults.check_stage_timeout()
         with span("engine.evaluate", stage=stage.name, output=output,
                   direction=direction):
             self._preflight_stage(stage)

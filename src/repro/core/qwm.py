@@ -43,6 +43,7 @@ from repro.core.waveforms import PiecewiseQuadraticWaveform, QuadraticPiece
 from repro.linalg.newton import NewtonConvergenceError, NewtonOptions
 from repro.obs import inc, observe, span
 from repro.obs.flight import flight
+from repro.resilience import faults
 from repro.spice.results import SimulationStats, TransientResult
 from repro.spice.sources import SourceLike, as_source
 
@@ -231,7 +232,9 @@ class QWMSolver:
             self._fl = None
             self._solve_id = 0
         with span("qwm.solve", k=self.path.length,
-                  direction=self.path.direction) as sp:
+                  direction=self.path.direction) as sp, \
+                faults.scope_default(rung="qwm",
+                                     stage=self.path.stage.name):
             solution = self._run_schedule(inputs, initial, t_start)
             sp.set(regions=solution.stats.steps,
                    newton_iterations=solution.stats.newton_iterations)

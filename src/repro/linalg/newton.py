@@ -14,6 +14,8 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro.resilience import faults
+
 ResidualFn = Callable[[np.ndarray], np.ndarray]
 JacobianFn = Callable[[np.ndarray], np.ndarray]
 LinearSolveFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
@@ -24,6 +26,7 @@ FAILURE_REASONS = (
     "linear_solve_failed",
     "non_finite_step",
     "max_iterations",
+    "fault_injected",
 )
 
 
@@ -138,6 +141,14 @@ class NewtonSolver:
             NewtonConvergenceError: if the iteration budget is exhausted or
                 the linear solve fails irrecoverably.
         """
+        if faults.active_plan() is not None and \
+                faults.newton_should_fail():
+            raise NewtonConvergenceError(
+                "fault injection forced non-convergence",
+                last_x=np.array(x0, dtype=float),
+                last_residual_norm=float("inf"),
+                reason="fault_injected",
+            )
         opts = self.options
         if linear_solve is None:
             linear_solve = _dense_solve

@@ -336,6 +336,8 @@ def summarize_ledger(ledger: Any) -> Dict[str, Any]:
     iteration_counts: List[int] = []
     regions: List[Dict[str, Any]] = []
     newton_failures: Dict[str, int] = {}
+    escalations: Dict[str, int] = {}
+    faults_injected: Dict[str, int] = {}
     table_queries = 0
 
     for event in events:
@@ -382,6 +384,13 @@ def summarize_ledger(ledger: Any) -> Dict[str, Any]:
         elif kind == "fallback":
             name = data.get("fallback", "unknown")
             fallbacks[name] = fallbacks.get(name, 0) + 1
+        elif kind == "escalation":
+            key = (f"{data.get('from_rung', '?')} "
+                   f"({data.get('reason', 'unknown')})")
+            escalations[key] = escalations.get(key, 0) + 1
+        elif kind == "fault_injected":
+            name = data.get("kind", "unknown")
+            faults_injected[name] = faults_injected.get(name, 0) + 1
 
     # Worst regions: failures first, then by attempts, then iterations.
     worst = sorted(regions, key=lambda r: (not r["failed"], -r["attempts"],
@@ -412,6 +421,8 @@ def summarize_ledger(ledger: Any) -> Dict[str, Any]:
         "table_queries": table_queries,
         "fallback_histogram": dict(sorted(fallbacks.items())),
         "newton_failure_reasons": dict(sorted(newton_failures.items())),
+        "escalation_histogram": dict(sorted(escalations.items())),
+        "faults_injected": dict(sorted(faults_injected.items())),
         "iteration_distribution": {
             "histogram": dict(sorted(histogram.items(),
                                      key=lambda kv: _bucket_sort(kv[0]))),
@@ -461,6 +472,17 @@ def render_report(summary: Dict[str, Any]) -> str:
         lines.append("  failed newton attempts by reason:")
         for name, count in summary["newton_failure_reasons"].items():
             lines.append(f"    {name:<22} {count}")
+
+    escalations = summary.get("escalation_histogram", {})
+    faults_injected = summary.get("faults_injected", {})
+    if escalations or faults_injected:
+        lines.append("")
+        lines.append("escalation ladder")
+        lines.append("-----------------")
+        for key, count in escalations.items():
+            lines.append(f"  {key:<32} {count}")
+        for name, count in faults_injected.items():
+            lines.append(f"  fault injected: {name:<16} {count}")
 
     dist = summary["iteration_distribution"]
     lines.append("")

@@ -57,7 +57,8 @@ CATALOG: Dict[str, Tuple[str, str, Optional[Tuple[float, ...]]]] = {
         "counter", "table-model library lookups by result label", None),
     "engine.dc_fallback": (
         "counter", "DC initial-condition solves that fell back to the "
-                   "analytic threshold-degraded estimate", None),
+                   "analytic threshold-degraded estimate, by exception "
+                   "class label", None),
     "linalg.solve.sherman_morrison": (
         "counter", "bordered-tridiagonal solves via Thomas + "
                    "Sherman-Morrison", None),
@@ -79,6 +80,25 @@ CATALOG: Dict[str, Tuple[str, str, Optional[Tuple[float, ...]]]] = {
     "sta.parallel.waves": (
         "gauge", "levelized wave count of the last scheduled STA run",
         None),
+    "sta.parallel.redispatch": (
+        "counter", "pooled stage tasks re-dispatched into the main "
+                   "process, by reason label (worker_crash, "
+                   "stage_timeout, task_error, serial_only)", None),
+    "resilience.escalations": (
+        "counter", "stage-arc escalations by the rung that failed "
+                   "(rung label)", None),
+    "resilience.arc.quality": (
+        "counter", "evaluated stage arcs by the ladder rung that "
+                   "produced them (quality label)", None),
+    "resilience.faults.injected": (
+        "counter", "faults fired by the chaos harness, by kind label",
+        None),
+    "cache.store_corrupt": (
+        "counter", "on-disk stage-cache stores rejected at load, by "
+                   "reason label (parse, version)", None),
+    "spice.budget.exceeded": (
+        "counter", "adaptive transient runs aborted by their step or "
+                   "wall-clock budget", None),
     "spice.steps": (
         "counter", "accepted reference-engine time steps", None),
     "spice.newton.iterations": (

@@ -1,0 +1,55 @@
+"""Resilience: escalation ladder + deterministic fault injection.
+
+Two halves:
+
+* :mod:`repro.resilience.ladder` — the degrade-don't-die escalation
+  ladder (``qwm`` → ``qwm-retry`` → ``spice`` → ``bounded``) the STA
+  layer runs every stage arc through, and the arrival ``quality`` tag
+  vocabulary.
+* :mod:`repro.resilience.faults` — a seeded, declarative fault-plan
+  harness that injects NaN table cells, forced Newton non-convergence,
+  worker crashes/hangs, cache-store truncation and stage timeouts, so
+  every rung can be *proven* to absorb the failure class it exists
+  for.  :mod:`repro.resilience.chaos` runs the standard scenario
+  matrix (``repro chaos``).
+
+Import structure: :mod:`.faults` is imported eagerly (it only needs
+numpy/stdlib and the obs layer) so low-level solvers can import its
+gates without cycles; :mod:`.ladder` and :mod:`.chaos` sit above the
+solver stack and are loaded lazily on first attribute access.
+"""
+
+from repro.resilience import faults
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    StageTimeoutError,
+)
+
+__all__ = [
+    "faults",
+    "FAULT_KINDS", "FaultPlan", "FaultSpec", "StageTimeoutError",
+    # Lazily resolved (PEP 562):
+    "ladder", "chaos",
+    "ArcSolveError", "EscalationLadder", "EscalationPolicy",
+    "QUALITY_ORDER", "merge_quality",
+    "ChaosReport", "ChaosScenario", "ScenarioOutcome",
+    "default_scenarios", "format_report", "run_matrix",
+]
+
+_LADDER_NAMES = ("ladder", "ArcSolveError", "EscalationLadder",
+                 "EscalationPolicy", "QUALITY_ORDER", "merge_quality")
+_CHAOS_NAMES = ("chaos", "ChaosReport", "ChaosScenario",
+                "ScenarioOutcome", "default_scenarios", "format_report",
+                "run_matrix")
+
+
+def __getattr__(name: str):
+    if name in _LADDER_NAMES:
+        from repro.resilience import ladder
+        return ladder if name == "ladder" else getattr(ladder, name)
+    if name in _CHAOS_NAMES:
+        from repro.resilience import chaos
+        return chaos if name == "chaos" else getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

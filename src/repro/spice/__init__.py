@@ -26,7 +26,11 @@ from repro.spice.results import SimulationStats, TransientResult
 from repro.spice.mna import StageEquations
 from repro.spice.dc import solve_dc, logic_initial_condition
 from repro.spice.transient import TransientOptions, TransientSimulator
-from repro.spice.adaptive import AdaptiveOptions, AdaptiveTransientSimulator
+from repro.spice.adaptive import (
+    AdaptiveOptions,
+    AdaptiveTransientSimulator,
+    TransientBudgetExceeded,
+)
 
 __all__ = [
     "ConstantSource",
@@ -45,4 +49,5 @@ __all__ = [
     "TransientSimulator",
     "AdaptiveOptions",
     "AdaptiveTransientSimulator",
+    "TransientBudgetExceeded",
 ]

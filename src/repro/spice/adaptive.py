@@ -32,10 +32,29 @@ from repro.linalg.newton import (
     NewtonOptions,
     NewtonSolver,
 )
+from repro.obs import inc
+from repro.resilience import faults
 from repro.spice.dc import logic_initial_condition, solve_dc
 from repro.spice.mna import StageEquations
 from repro.spice.results import SimulationStats, TransientResult
 from repro.spice.sources import SourceLike, as_source
+
+
+class TransientBudgetExceeded(RuntimeError):
+    """The adaptive engine exhausted its step or wall-clock budget.
+
+    Step halving around a non-smooth point can otherwise attempt an
+    unbounded number of steps (each rejection is a full Newton solve);
+    the budget turns that pathology into a structured, catchable
+    failure carrying how far the analysis got.
+    """
+
+    def __init__(self, message: str, attempts: int,
+                 wall_seconds: float, t_reached: float):
+        super().__init__(message)
+        self.attempts = attempts
+        self.wall_seconds = wall_seconds
+        self.t_reached = t_reached
 
 
 @dataclass
@@ -51,6 +70,10 @@ class AdaptiveOptions:
         grow_limit: maximum step growth factor per accepted step.
         shrink_limit: minimum step shrink factor per rejected step.
         newton: per-step Newton controls.
+        max_steps: budget on step *attempts* (accepted + LTE-rejected +
+            Newton-failed); exceeding it raises
+            :class:`TransientBudgetExceeded`.
+        max_wall_seconds: optional wall-clock budget for one run [s].
     """
 
     t_stop: float = 500e-12
@@ -62,12 +85,18 @@ class AdaptiveOptions:
     shrink_limit: float = 0.25
     newton: NewtonOptions = field(default_factory=lambda: NewtonOptions(
         abstol=1e-9, xtol=1e-7, max_iterations=40, max_step=0.5))
+    max_steps: int = 200_000
+    max_wall_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.dt_min <= self.dt_initial <= self.dt_max:
             raise ValueError("need dt_min <= dt_initial <= dt_max")
         if self.lte_tol <= 0:
             raise ValueError("lte_tol must be positive")
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        if self.max_wall_seconds is not None and self.max_wall_seconds <= 0:
+            raise ValueError("max_wall_seconds must be positive or None")
 
 
 class AdaptiveTransientSimulator:
@@ -83,6 +112,12 @@ class AdaptiveTransientSimulator:
     def run(self, inputs: Dict[str, SourceLike],
             initial: Optional[Dict[str, float]] = None) -> TransientResult:
         """Run the adaptive analysis (same interface as the fixed engine)."""
+        with faults.scope_default(rung="spice",
+                                  stage=self.stage.name):
+            return self._run(inputs, initial)
+
+    def _run(self, inputs: Dict[str, SourceLike],
+             initial: Optional[Dict[str, float]]) -> TransientResult:
         opts = self.options
         eq = self.equations
         sources = {name: as_source(src) for name, src in inputs.items()}
@@ -98,8 +133,23 @@ class AdaptiveTransientSimulator:
         t = 0.0
         dt = opts.dt_initial
         prev_dt: Optional[float] = None
+        attempts = 0
         t_start = time.perf_counter()
         while t < opts.t_stop - 1e-18:
+            attempts += 1
+            wall = time.perf_counter() - t_start
+            if attempts > opts.max_steps or (
+                    opts.max_wall_seconds is not None
+                    and wall > opts.max_wall_seconds):
+                inc("spice.budget.exceeded")
+                what = ("step budget" if attempts > opts.max_steps
+                        else "wall-clock budget")
+                raise TransientBudgetExceeded(
+                    f"adaptive transient exceeded its {what} "
+                    f"({attempts - 1} attempts, {wall:.3g}s) at "
+                    f"t={t:.3e}s of {opts.t_stop:.3e}s",
+                    attempts=attempts - 1, wall_seconds=wall,
+                    t_reached=t)
             dt = min(dt, opts.t_stop - t)
             # Break the step at input discontinuities (SPICE-style
             # breakpoints): land exactly on the edge, and since that

@@ -20,9 +20,10 @@ class TestStageArc:
         inv_stage = fig1_graph.stage_of_net["out"]
         arc = sta.stage_arc(inv_stage, "out", "fall", "z")
         assert arc is not None
-        delay, slew = arc
+        delay, slew, quality = arc
         assert delay > 0
         assert slew is not None and slew > 0
+        assert quality == "qwm"
 
     def test_pass_gate_sensitization_fallback(self, tech, library,
                                               fig1_graph):

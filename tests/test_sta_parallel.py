@@ -215,14 +215,14 @@ def test_cache_stores_negative_results():
 def test_cache_roundtrip_json(tmp_path):
     cache = StageResultCache(path=str(tmp_path / "c.json"))
     cache.put(arc_cache_key("fp", "out", "fall", "a", 1e-11),
-              (4.2e-11, 6.0e-11))
+              (4.2e-11, 6.0e-11, "qwm"))
     cache.put(arc_cache_key("fp", "out", "rise", "a", None), None)
     cache.save()
 
     other = StageResultCache(path=str(tmp_path / "c.json"))
     assert len(other) == 2
     hit = other.get(arc_cache_key("fp", "out", "fall", "a", 1e-11))
-    assert hit == (4.2e-11, 6.0e-11)
+    assert hit == (4.2e-11, 6.0e-11, "qwm")
 
 
 def test_quantize_slew_buckets():
