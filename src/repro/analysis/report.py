@@ -25,7 +25,11 @@ def arrival_report(result: StaResult, limit: Optional[int] = None) -> str:
         result: an STA result.
         limit: optionally keep only the N latest events.
     """
-    rows = sorted(result.arrivals.values(), key=lambda a: -a.time)
+    # Tie-break on (net, direction): equal-time arrivals would otherwise
+    # print in dict insertion order, which differs between the serial
+    # and parallel engines (workers merge in completion order).
+    rows = sorted(result.arrivals.values(),
+                  key=lambda a: (-a.time, a.net, a.direction))
     if limit is not None:
         rows = rows[:limit]
     lines = ["Arrival report", "-" * 46,

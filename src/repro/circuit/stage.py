@@ -91,14 +91,21 @@ class FlatNetlist:
         self.load_caps[net] = self.load_caps.get(net, 0.0) + cap
 
     @property
-    def nets(self) -> Set[str]:
-        """Every net referenced anywhere in the netlist."""
-        nets: Set[str] = set()
+    def nets(self) -> List[str]:
+        """Every net referenced anywhere, in first-use order.
+
+        Insertion-ordered by construction (a dict, not a set) so any
+        consumer iterating it — report builders, cache keys — is stable
+        without having to remember to sort.
+        """
+        nets: Dict[str, None] = {}
         for t in self.transistors:
-            nets.update((t.gate, t.src, t.snk))
+            for net in (t.gate, t.src, t.snk):
+                nets.setdefault(net, None)
         for w in self.wires:
-            nets.update((w.a, w.b))
-        return nets
+            for net in (w.a, w.b):
+                nets.setdefault(net, None)
+        return list(nets)
 
 
 class _UnionFind:

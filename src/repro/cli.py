@@ -23,12 +23,19 @@ Commands
 ``characterize``
     Characterize the device tables and print their statistics.
 
-``lint DECK.sp``
+``lint DECK.sp`` / ``lint --code``
     Run the static pre-simulation checks (:mod:`repro.lint`) on a deck
     and print the diagnostics; exits 1 when errors are found.
-    ``--format json`` emits a machine-readable report, ``--models``
-    additionally characterizes and lints the device tables,
-    ``--disable ERC005`` / ``--severity ERC007=error`` tune rules.
+    ``--format json`` emits a machine-readable report (top-level
+    ``schema_version`` pins the shape), ``--models`` additionally
+    characterizes and lints the device tables, ``--disable ERC005`` /
+    ``--severity ERC007=error`` tune rules.  ``--code`` instead runs
+    the determinism/concurrency rule pack over the repo's own sources
+    (:mod:`repro.lint.rules_code`): findings recorded in
+    ``.lint-baseline.json`` (auto-discovered, or ``--baseline PATH``)
+    are suppressed with their justification, stale entries warn, and
+    ``--sarif OUT.sarif`` writes a SARIF 2.1.0 log for CI annotation;
+    ``--fail-on warning`` tightens the gate for CI.
 
 ``golden [--update]``
     Differential QWM-vs-SPICE suite: re-measure every stored golden
@@ -268,22 +275,78 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_severity_overrides(specs) -> dict:
+    from repro.lint import Severity
+
+    overrides = {}
+    for spec in specs or []:
+        if "=" not in spec:
+            raise ValueError(f"expected RULE=LEVEL, got {spec!r}")
+        rule, level = spec.split("=", 1)
+        overrides[rule] = Severity.parse(level)
+    return overrides
+
+
+def _cmd_lint_code(args: argparse.Namespace) -> int:
+    """``repro lint --code``: self-analysis with baseline gating."""
+    from repro.lint import (Baseline, default_scan_root,
+                            discover_baseline, lint_code, to_sarif)
+
+    root = args.root or default_scan_root()
+    report = lint_code(
+        root, disable=tuple(args.disable or ()),
+        severity_overrides=_parse_severity_overrides(args.severity))
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        baseline_path = discover_baseline(os.getcwd()) \
+            or discover_baseline(root)
+    baseline = (Baseline.load(baseline_path) if baseline_path
+                else Baseline())
+    result = baseline.apply(report)
+    gated = result.report
+
+    if args.sarif:
+        sarif = to_sarif(gated, suppressed=result.suppressed)
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            json.dump(sarif, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if args.format == "json":
+        data = gated.to_json()
+        data["baseline"] = {
+            "path": baseline_path,
+            "suppressed": len(result.suppressed),
+            "stale": len(result.stale),
+        }
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(f"code lint over {root}")
+        print(gated.format_text())
+        if baseline_path:
+            print(f"baseline {baseline_path}: "
+                  f"{len(result.suppressed)} finding(s) suppressed, "
+                  f"{len(result.stale)} stale entr(y/ies)")
+    failing = list(gated.errors)
+    if args.fail_on == "warning":
+        failing += gated.warnings
+    return 1 if failing else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.core.qwm import QWMOptions
-    from repro.lint import LintContext, LintRunner, Severity
+    from repro.lint import LintContext, LintRunner
+
+    if args.code:
+        return _cmd_lint_code(args)
+    if args.deck is None:
+        raise ValueError("a DECK is required unless --code is given")
 
     tech = CMOSP35
     with open(args.deck) as handle:
         text = handle.read()
     netlist = parse_spice_netlist(text, tech,
                                   name=os.path.basename(args.deck))
-
-    overrides = {}
-    for spec in args.severity or []:
-        if "=" not in spec:
-            raise ValueError(f"expected RULE=LEVEL, got {spec!r}")
-        rule, level = spec.split("=", 1)
-        overrides[rule] = Severity.parse(level)
 
     ctx = LintContext.from_netlist(
         netlist, tech=tech, options=QWMOptions(),
@@ -294,8 +357,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         ctx.tables = [library.get("n"), library.get("p")]
         ctx.corners = all_corners(tech)
 
-    runner = LintRunner(disable=tuple(args.disable or ()),
-                        severity_overrides=overrides)
+    runner = LintRunner(
+        disable=tuple(args.disable or ()),
+        severity_overrides=_parse_severity_overrides(args.severity))
     report = runner.run(ctx)
     if args.format == "json":
         print(json.dumps(report.to_json(), indent=2, sort_keys=True))
@@ -711,8 +775,10 @@ def build_parser() -> argparse.ArgumentParser:
     char.set_defaults(func=_cmd_characterize)
 
     lint = sub.add_parser("lint",
-                          help="static pre-simulation checks on a deck")
-    lint.add_argument("deck")
+                          help="static pre-simulation checks on a deck, "
+                               "or --code for repo self-analysis")
+    lint.add_argument("deck", nargs="?", default=None,
+                      help="SPICE deck to lint (omit with --code)")
     lint.add_argument("--format", choices=["text", "json"],
                       default="text", help="report format")
     lint.add_argument("--disable", action="append", metavar="RULE",
@@ -727,6 +793,24 @@ def build_parser() -> argparse.ArgumentParser:
                            "tables (slower)")
     lint.add_argument("--grid-step", default="0.1",
                       help="characterization grid pitch hint [V]")
+    lint.add_argument("--code", action="store_true",
+                      help="run the determinism/concurrency code "
+                           "analysis over the repo's own sources "
+                           "instead of a deck")
+    lint.add_argument("--root", default=None, metavar="DIR",
+                      help="source tree to scan with --code (default: "
+                           "the installed repro package)")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="baseline file of accepted findings "
+                           "(default: auto-discover .lint-baseline.json)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore any baseline file")
+    lint.add_argument("--sarif", default=None, metavar="OUT",
+                      help="with --code, also write a SARIF 2.1.0 log")
+    lint.add_argument("--fail-on", choices=["error", "warning"],
+                      default="error",
+                      help="exit non-zero at this severity or above "
+                           "(default: error)")
     lint.set_defaults(func=_cmd_lint)
 
     stats = sub.add_parser("stats",

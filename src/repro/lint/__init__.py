@@ -1,9 +1,10 @@
-"""``repro.lint`` — static pre-simulation analysis of QWM inputs.
+"""``repro.lint`` — static analysis of QWM inputs *and* of the repo.
 
-A rule-based lint framework that inspects netlists, stage graphs,
-device tables, solver options and interconnect networks *before* any
-transient solve, emitting structured :class:`Diagnostic` records with
-stable rule IDs.  Four built-in rule packs:
+A rule-based lint framework with two kinds of context: netlist-centric
+(netlists, stage graphs, device tables, solver options, RC networks —
+checked *before* any transient solve) and code-centric (the repo's own
+Python sources, checked for determinism/concurrency hazards).  Five
+built-in rule packs:
 
 ======  ============================================================
 pack    rules
@@ -12,9 +13,12 @@ erc     ``ERC001-floating-gate`` … ``ERC008-stage-extraction`` —
         structural polar-graph preconditions (Definition 1)
 model   ``MOD001-nonfinite-table`` … ``MOD005-corner-mismatch`` —
         tabular I/V and capacitance sanity
-solver  ``SOL001-stack-depth`` … ``SOL004-telemetry-budget`` —
+solver  ``SOL001-stack-depth`` … ``SOL005-flight-ledger-budget`` —
         QWM/Newton configuration preflight
 interconnect  ``INT001-negative-rc`` … ``INT003-coupling-self-loop``
+code    ``DET001-unordered-iteration`` … ``CONC004-env-mutation`` —
+        determinism & concurrency-safety static analysis of
+        ``src/repro`` itself (baseline-gated, SARIF export)
 ======  ============================================================
 
 Typical use::
@@ -25,12 +29,22 @@ Typical use::
     if not report.ok:
         print(report.format_text())
 
-or from the command line: ``python -m repro lint DECK.sp``.
+or from the command line: ``python -m repro lint DECK.sp`` for a deck,
+``python -m repro lint --code`` for the self-analysis.
 """
 
+from repro.lint.baseline import (
+    Baseline,
+    BaselineEntry,
+    BaselineResult,
+    STALE_BASELINE_ID,
+    discover_baseline,
+)
+from repro.lint.code_context import CodeContext, default_scan_root
 from repro.lint.context import CouplingCap, LintContext
 from repro.lint.diagnostics import (
     Diagnostic,
+    LINT_JSON_SCHEMA_VERSION,
     LintReport,
     Location,
     Severity,
@@ -40,27 +54,39 @@ from repro.lint.runner import (
     LintRunner,
     PreflightError,
     all_rule_classes,
+    lint_code,
     lint_netlist,
     lint_stage,
     preflight,
     register,
     rule_packs,
 )
+from repro.lint.sarif import to_sarif
 
 __all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineResult",
+    "CodeContext",
     "CouplingCap",
     "Diagnostic",
+    "LINT_JSON_SCHEMA_VERSION",
     "LintContext",
     "LintReport",
     "LintRule",
     "LintRunner",
     "Location",
     "PreflightError",
+    "STALE_BASELINE_ID",
     "Severity",
     "all_rule_classes",
+    "default_scan_root",
+    "discover_baseline",
+    "lint_code",
     "lint_netlist",
     "lint_stage",
     "preflight",
     "register",
     "rule_packs",
+    "to_sarif",
 ]

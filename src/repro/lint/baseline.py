@@ -1,0 +1,184 @@
+"""Baseline gating for code-level lint findings.
+
+A checked-in ``.lint-baseline.json`` records pre-existing findings that
+are correct-by-design, each with a written justification.  A gated run
+then distinguishes three populations:
+
+* **new** findings — not in the baseline; these fail CI,
+* **suppressed** findings — matched by an entry; reported to SARIF with
+  a suppression marker but excluded from the gate,
+* **stale** entries — baseline lines whose finding no longer exists
+  (the bug was fixed); surfaced as ``BASE001-stale-baseline`` warnings
+  so the file shrinks instead of rotting.
+
+Entries match on ``(rule, path, symbol)`` — the enclosing function
+rather than the line number — so ordinary edits don't invalidate the
+baseline while a *new* instance of the same rule elsewhere still fails.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Location,
+    Severity,
+)
+
+#: Schema version of the baseline file itself.
+BASELINE_SCHEMA_VERSION = 1
+#: Rule ID of the synthetic "baseline entry no longer matches" warning.
+STALE_BASELINE_ID = "BASE001-stale-baseline"
+
+MatchKey = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One suppressed finding.
+
+    Attributes:
+        rule: rule ID (short ``"DET004"`` or full
+            ``"DET004-float-equality"``).
+        path: repo-relative file path as the analyzer reports it.
+        symbol: enclosing function/class qualname (``"<module>"`` for
+            module-level findings).
+        reason: written justification — required; an empty reason is a
+            load error, suppression must never be silent.
+    """
+
+    rule: str
+    path: str
+    symbol: str
+    reason: str
+
+    def matches(self, diagnostic: Diagnostic) -> bool:
+        location = diagnostic.location
+        if location.scope != "code":
+            return False
+        if (location.container or "") != self.path:
+            return False
+        if (location.element or "<module>") != self.symbol:
+            return False
+        return (diagnostic.rule == self.rule
+                or diagnostic.rule.startswith(self.rule + "-"))
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of gating a report against a baseline.
+
+    Attributes:
+        report: kept (new) findings plus one stale-entry warning per
+            unmatched baseline line, re-sorted.
+        suppressed: findings excluded by the baseline (for SARIF).
+        stale: baseline entries that matched nothing.
+    """
+
+    report: LintReport
+    suppressed: List[Diagnostic]
+    stale: List[BaselineEntry]
+
+
+class Baseline:
+    """A loaded baseline file."""
+
+    def __init__(self, entries: Optional[List[BaselineEntry]] = None,
+                 path: Optional[str] = None):
+        self.entries: List[BaselineEntry] = list(entries or ())
+        self.path = path
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Parse a baseline file; raises ValueError on a bad shape."""
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ValueError(
+                f"baseline {path}: expected an object with 'entries'")
+        version = data.get("schema_version")
+        if version != BASELINE_SCHEMA_VERSION:
+            raise ValueError(
+                f"baseline {path}: schema_version {version!r} not "
+                f"supported (expected {BASELINE_SCHEMA_VERSION})")
+        entries: List[BaselineEntry] = []
+        for index, raw in enumerate(data["entries"]):
+            try:
+                entry = BaselineEntry(
+                    rule=str(raw["rule"]), path=str(raw["path"]),
+                    symbol=str(raw.get("symbol", "<module>")),
+                    reason=str(raw["reason"]))
+            except (KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"baseline {path}: entry {index} malformed "
+                    f"({exc})") from None
+            if not entry.reason.strip():
+                raise ValueError(
+                    f"baseline {path}: entry {index} "
+                    f"({entry.rule} at {entry.path}) has no reason; "
+                    "every suppression needs a written justification")
+            entries.append(entry)
+        return cls(entries, path=path)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schema_version": BASELINE_SCHEMA_VERSION,
+            "entries": [
+                {"rule": e.rule, "path": e.path, "symbol": e.symbol,
+                 "reason": e.reason}
+                for e in self.entries
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    def apply(self, report: LintReport) -> BaselineResult:
+        """Split a report into new vs suppressed, flag stale entries."""
+        kept: List[Diagnostic] = []
+        suppressed: List[Diagnostic] = []
+        used: Dict[MatchKey, bool] = {
+            (e.rule, e.path, e.symbol): False for e in self.entries}
+        for diagnostic in report:
+            entry = next((e for e in self.entries
+                          if e.matches(diagnostic)), None)
+            if entry is None:
+                kept.append(diagnostic)
+            else:
+                used[(entry.rule, entry.path, entry.symbol)] = True
+                suppressed.append(diagnostic)
+        stale = [e for e in self.entries
+                 if not used[(e.rule, e.path, e.symbol)]]
+        for entry in stale:
+            kept.append(Diagnostic(
+                rule=STALE_BASELINE_ID, severity=Severity.WARNING,
+                message=(f"baseline entry for {entry.rule} at "
+                         f"{entry.path}:{entry.symbol} matched no "
+                         "finding — the issue appears fixed"),
+                location=Location("baseline", entry.path, entry.symbol),
+                hint="remove the stale entry from the baseline file"))
+        gated = LintReport(kept, rules_checked=report.rules_checked)
+        return BaselineResult(report=gated, suppressed=suppressed,
+                              stale=stale)
+
+
+def discover_baseline(start: str) -> Optional[str]:
+    """Walk up from ``start`` looking for a ``.lint-baseline.json``."""
+    import os
+
+    cursor = os.path.abspath(start)
+    for _ in range(6):
+        candidate = os.path.join(cursor, ".lint-baseline.json")
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(cursor)
+        if parent == cursor:
+            break
+        cursor = parent
+    return None

@@ -1,0 +1,178 @@
+"""Lightweight name-based call graph over a :class:`CodeContext`.
+
+The concurrency rules need to know which functions can run on worker
+threads/processes: module-global mutation is harmless from the scheduler
+thread but a data race from a pooled task.  Full points-to analysis is
+out of scope for a lint pass, so this resolves calls *by simple name* —
+a call ``foo(...)`` or ``obj.foo(...)`` links to every function named
+``foo`` anywhere in the scanned tree.  That over-approximates
+reachability, which is the conservative direction for safety rules: a
+function is treated as worker-reachable unless no name path leads to it.
+
+Worker entry points are discovered structurally rather than from a
+hard-coded list: any function object passed to ``executor.submit(f,
+...)``, an ``initializer=f`` executor keyword, or a
+``threading.Thread(target=f)`` call is an entry.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.lint.code_context import CodeContext, SourceFile
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function definition in the scanned tree.
+
+    Attributes:
+        qualname: ``"relpath::Qual.Name"`` — unique per definition.
+        name: the simple (unqualified) function name.
+        relpath: file the definition lives in.
+        lineno: definition line.
+    """
+
+    qualname: str
+    name: str
+    relpath: str
+    lineno: int
+
+
+def _call_target_name(func: ast.expr) -> Optional[str]:
+    """Simple name a call resolves through (``foo`` / ``x.foo``)."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _referenced_name(node: ast.expr) -> Optional[str]:
+    """Simple name of a function *reference* (not a call)."""
+    return _call_target_name(node)
+
+
+class CallGraph:
+    """Name-resolved call graph plus worker-entry discovery."""
+
+    def __init__(self, ctx: CodeContext):
+        #: qualname -> FunctionInfo
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: simple name -> qualnames sharing it
+        self.by_name: Dict[str, List[str]] = {}
+        #: qualname -> simple names it calls or references
+        self.calls: Dict[str, Set[str]] = {}
+        #: simple names of functions handed to pools/threads
+        self.entry_names: Set[str] = set()
+        for source in ctx.parsed():
+            self._index_file(source)
+
+    # ------------------------------------------------------------------
+    def _index_file(self, source: SourceFile) -> None:
+        def visit_scope(node: ast.AST, stack: tuple) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    qual = stack + (child.name,)
+                    qualname = f"{source.relpath}::{'.'.join(qual)}"
+                    info = FunctionInfo(qualname, child.name,
+                                        source.relpath, child.lineno)
+                    self.functions[qualname] = info
+                    self.by_name.setdefault(child.name, []).append(
+                        qualname)
+                    self.calls[qualname] = self._scope_calls(child)
+                    visit_scope(child, qual)
+                elif isinstance(child, ast.ClassDef):
+                    visit_scope(child, stack + (child.name,))
+                else:
+                    visit_scope(child, stack)
+
+        visit_scope(source.tree, ())  # type: ignore[arg-type]
+        self._find_entries(source)
+
+    @staticmethod
+    def _scope_calls(func: ast.AST) -> Set[str]:
+        """Simple names called (or referenced as callbacks) in one
+        function body, excluding nested function definitions — those
+        are separate graph nodes, linked when the outer scope calls or
+        passes them by name."""
+        called: Set[str] = set()
+
+        def walk(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    continue
+                if isinstance(child, ast.Call):
+                    name = _call_target_name(child.func)
+                    if name:
+                        called.add(name)
+                    for arg in child.args:
+                        if not isinstance(arg, ast.Call):
+                            ref = _referenced_name(arg)
+                            if ref:
+                                called.add(ref)
+                    for kw in child.keywords:
+                        if not isinstance(kw.value, ast.Call):
+                            ref = _referenced_name(kw.value)
+                            if ref:
+                                called.add(ref)
+                walk(child)
+
+        walk(func)
+        return called
+
+    def _find_entries(self, source: SourceFile) -> None:
+        """Record functions handed to executors or threads."""
+        for node in ast.walk(source.tree):  # type: ignore[arg-type]
+            if not isinstance(node, ast.Call):
+                continue
+            target = _call_target_name(node.func)
+            if target == "submit" and node.args:
+                name = _referenced_name(node.args[0])
+                if name:
+                    self.entry_names.add(name)
+            if target in ("ThreadPoolExecutor", "ProcessPoolExecutor",
+                          "Thread", "Process", "Timer"):
+                for kw in node.keywords:
+                    if kw.arg in ("initializer", "target"):
+                        name = _referenced_name(kw.value)
+                        if name:
+                            self.entry_names.add(name)
+
+    # ------------------------------------------------------------------
+    def worker_entries(self) -> List[str]:
+        """Qualnames of every discovered worker entry function."""
+        found: List[str] = []
+        for name in sorted(self.entry_names):
+            found.extend(self.by_name.get(name, []))
+        return found
+
+    def reachable(self,
+                  entries: Optional[List[str]] = None) -> Set[str]:
+        """Qualnames reachable (by name) from the given entries.
+
+        Defaults to :meth:`worker_entries`.  Includes the entries
+        themselves.
+        """
+        if entries is None:
+            entries = self.worker_entries()
+        seen: Set[str] = set()
+        frontier = list(entries)
+        while frontier:
+            qualname = frontier.pop()
+            if qualname in seen or qualname not in self.functions:
+                continue
+            seen.add(qualname)
+            for callee_name in self.calls.get(qualname, ()):
+                for callee in self.by_name.get(callee_name, []):
+                    if callee not in seen:
+                        frontier.append(callee)
+        return seen
+
+    def reachable_names(self) -> Set[str]:
+        """Worker-reachable functions as ``relpath::qualname`` strings."""
+        return self.reachable()

@@ -1,0 +1,182 @@
+"""Source-tree context for the code-level rule pack.
+
+Where the netlist-centric :class:`~repro.lint.context.LintContext`
+bundles circuit artifacts, a :class:`CodeContext` bundles the repo's own
+Python sources: file text, parsed ASTs, parent links and enclosing-symbol
+lookup.  The ``code`` rule pack (:mod:`repro.lint.rules_code`) walks it
+to enforce the determinism and concurrency-safety contracts the runtime
+test suites can only check behaviorally.
+
+Paths are always stored relative to the scanned root with ``/``
+separators; the module label drops any leading ``src``/``repro``
+segments, so ``analysis/parallel.py`` labels as ``analysis.parallel``
+whether the scan root is ``src/repro``, ``repro`` or a temporary copy.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Directory names never descended into when scanning a tree.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def module_label(relpath: str) -> str:
+    """Dotted module label for a relative path, root-prefix agnostic."""
+    parts = relpath.replace("\\", "/").split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    while parts and parts[0] in ("src", "repro"):
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class SourceFile:
+    """One parsed Python source file.
+
+    Attributes:
+        relpath: path relative to the scan root (``/`` separators).
+        text: raw source text.
+        tree: parsed module AST, or None when the file failed to parse
+            (the failure is recorded on the owning context instead).
+        module: dotted module label (see :func:`module_label`).
+    """
+
+    def __init__(self, relpath: str, text: str,
+                 tree: Optional[ast.Module]):
+        self.relpath = relpath
+        self.text = text
+        self.tree = tree
+        self.module = module_label(relpath)
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+        self._symbols: Optional[List[Tuple[int, int, str]]] = None
+
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The AST parent of ``node`` (None for the module root)."""
+        if self._parents is None:
+            self._parents = {}
+            if self.tree is not None:
+                for outer in ast.walk(self.tree):
+                    for inner in ast.iter_child_nodes(outer):
+                        self._parents[inner] = outer
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Parents of ``node`` from innermost to the module root."""
+        cursor = self.parent(node)
+        while cursor is not None:
+            yield cursor
+            cursor = self.parent(cursor)
+
+    def symbol_at(self, lineno: int) -> str:
+        """Qualified name of the innermost def/class enclosing a line.
+
+        Returns ``"<module>"`` for module-level code.  Used as the
+        stable half of baseline fingerprints, so findings survive line
+        drift as long as they stay in the same function.
+        """
+        if self._symbols is None:
+            self._symbols = []
+            if self.tree is not None:
+                self._index_symbols(self.tree, ())
+        best = "<module>"
+        best_span = None
+        for start, end, name in self._symbols:
+            if start <= lineno <= end:
+                span = end - start
+                if best_span is None or span <= best_span:
+                    best, best_span = name, span
+        return best
+
+    def _index_symbols(self, node: ast.AST, stack: Tuple[str, ...]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                qual = stack + (child.name,)
+                end = getattr(child, "end_lineno", child.lineno)
+                self._symbols.append(  # type: ignore[union-attr]
+                    (child.lineno, end or child.lineno, ".".join(qual)))
+                self._index_symbols(child, qual)
+            else:
+                self._index_symbols(child, stack)
+
+
+@dataclass
+class CodeContext:
+    """The source tree a code-level lint run inspects.
+
+    Attributes:
+        root: scan root (directory or ``"<memory>"`` for test sources).
+        files: parsed sources, sorted by relpath.
+        parse_errors: ``(relpath, message)`` for unparseable files; the
+            runner surfaces them as diagnostics instead of crashing.
+    """
+
+    root: str
+    files: List[SourceFile] = field(default_factory=list)
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(cls, root: str) -> "CodeContext":
+        """Scan ``root`` recursively for ``*.py`` files (sorted walk)."""
+        ctx = cls(root=os.path.abspath(root))
+        relpaths: List[str] = []
+        for dirpath, dirnames, filenames in os.walk(ctx.root):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in _SKIP_DIRS)
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    full = os.path.join(dirpath, name)
+                    relpaths.append(
+                        os.path.relpath(full, ctx.root).replace(
+                            os.sep, "/"))
+        for relpath in sorted(relpaths):
+            with open(os.path.join(ctx.root, relpath),
+                      encoding="utf-8") as handle:
+                ctx._add(relpath, handle.read())
+        return ctx
+
+    @classmethod
+    def from_sources(cls, sources: Dict[str, str],
+                     root: str = "<memory>") -> "CodeContext":
+        """Build a context from in-memory ``{relpath: text}`` sources."""
+        ctx = cls(root=root)
+        for relpath in sorted(sources):
+            ctx._add(relpath.replace(os.sep, "/"), sources[relpath])
+        return ctx
+
+    def _add(self, relpath: str, text: str) -> None:
+        try:
+            tree: Optional[ast.Module] = ast.parse(text, filename=relpath)
+        except SyntaxError as exc:
+            tree = None
+            self.parse_errors.append(
+                (relpath, f"line {exc.lineno}: {exc.msg}"))
+        self.files.append(SourceFile(relpath, text, tree))
+
+    # ------------------------------------------------------------------
+    def file(self, relpath: str) -> Optional[SourceFile]:
+        """Look a file up by its relative path."""
+        relpath = relpath.replace(os.sep, "/")
+        for source in self.files:
+            if source.relpath == relpath:
+                return source
+        return None
+
+    def parsed(self) -> Iterator[SourceFile]:
+        """Files with a usable AST."""
+        return (f for f in self.files if f.tree is not None)
+
+
+def default_scan_root() -> str:
+    """The installed ``repro`` package directory (the self-scan root)."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))

@@ -56,6 +56,10 @@ class LintContext:
             stack-depth preflight when no tables are attached.
         rc_trees: interconnect RC trees to lint.
         coupling_caps: coupling capacitors to lint.
+        code: a :class:`~repro.lint.code_context.CodeContext` when the
+            run inspects the repo's own sources (the ``code`` rule
+            pack); netlist rules ignore it and code rules no-op when it
+            is absent, so one runner serves both kinds of run.
         design_name: label used in diagnostic locations.
     """
 
@@ -71,6 +75,7 @@ class LintContext:
     grid_step: Optional[float] = None
     rc_trees: List[Any] = field(default_factory=list)
     coupling_caps: List[CouplingCap] = field(default_factory=list)
+    code: Optional[Any] = None
     design_name: str = "design"
 
     # ------------------------------------------------------------------
@@ -106,6 +111,15 @@ class LintContext:
         """Build a context around a single logic stage."""
         return cls(stages=[stage], tech=tech, options=options,
                    design_name=getattr(stage, "name", "stage"))
+
+    @classmethod
+    def from_code(cls, code: Any) -> "LintContext":
+        """Build a context around a source-tree ``CodeContext``."""
+        import os
+
+        root = getattr(code, "root", "<memory>")
+        return cls(code=code,
+                   design_name=os.path.basename(root) or root)
 
     @classmethod
     def from_stage_graph(cls, graph: Any, tech: Optional[Any] = None,

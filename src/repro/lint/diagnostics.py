@@ -14,6 +14,14 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
+#: Version of the ``repro lint`` JSON rendering (``LintReport.to_json``
+#: and the CLI ``--format json`` / ``--json`` outputs).  Bump on any
+#: key rename/removal or semantic change so CI consumers can pin.
+#: History: 1 = PR 1 shape (diagnostics + summary); 2 = adds this
+#: field itself, optional per-location ``line`` and, in ``--code``
+#: runs, a ``baseline`` block.
+LINT_JSON_SCHEMA_VERSION = 2
+
 
 class Severity(enum.Enum):
     """Severity of a diagnostic, ordered error > warning > info."""
@@ -46,15 +54,19 @@ class Location:
 
     Attributes:
         scope: the kind of object inspected (``"netlist"``, ``"stage"``,
-            ``"table"``, ``"options"``, ``"rc-tree"``, ``"corner"``).
-        container: name of the inspected object (design, stage, table).
-        element: the offending member (node, net, device, parameter),
-            when one can be singled out.
+            ``"table"``, ``"options"``, ``"rc-tree"``, ``"corner"``,
+            ``"code"``).
+        container: name of the inspected object (design, stage, table,
+            or — for code findings — the repo-relative file path).
+        element: the offending member (node, net, device, parameter, or
+            enclosing function), when one can be singled out.
+        line: 1-based source line, for code-level findings only.
     """
 
     scope: str
     container: Optional[str] = None
     element: Optional[str] = None
+    line: Optional[int] = None
 
     def __str__(self) -> str:
         parts = [self.scope]
@@ -62,11 +74,18 @@ class Location:
             parts.append(self.container)
         if self.element:
             parts.append(self.element)
-        return ":".join(parts)
+        text = ":".join(parts)
+        if self.line is not None:
+            text += f":L{self.line}"
+        return text
 
-    def to_json(self) -> Dict[str, Optional[str]]:
-        return {"scope": self.scope, "container": self.container,
-                "element": self.element}
+    def to_json(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"scope": self.scope,
+                                "container": self.container,
+                                "element": self.element}
+        if self.line is not None:
+            data["line"] = self.line
+        return data
 
 
 @dataclass(frozen=True)
@@ -173,6 +192,7 @@ class LintReport:
     def to_json(self) -> Dict[str, Any]:
         """JSON-serializable rendering (stable ordering)."""
         return {
+            "schema_version": LINT_JSON_SCHEMA_VERSION,
             "diagnostics": [d.to_json() for d in self.diagnostics],
             "summary": {
                 "errors": len(self.errors),

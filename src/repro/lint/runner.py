@@ -91,6 +91,7 @@ def rule_packs() -> List[str]:
 def _load_builtin_packs() -> None:
     """Import the built-in rule modules (registration side effect)."""
     from repro.lint import (  # noqa: F401
+        rules_code,
         rules_erc,
         rules_interconnect,
         rules_model,
@@ -199,6 +200,22 @@ def lint_stage(stage, tech=None, options=None,
                **runner_kwargs) -> LintReport:
     """Lint a single logic stage."""
     ctx = LintContext.from_stage(stage, tech=tech, options=options)
+    return LintRunner(**runner_kwargs).run(ctx)
+
+
+def lint_code(root: Optional[str] = None, **runner_kwargs) -> LintReport:
+    """Run the code-level rule pack over a source tree.
+
+    Args:
+        root: directory to scan; defaults to the installed ``repro``
+            package sources.  The report is *unbaselined* — apply a
+            :class:`repro.lint.baseline.Baseline` for gating.
+    """
+    from repro.lint.code_context import CodeContext, default_scan_root
+
+    code = CodeContext.from_tree(root or default_scan_root())
+    ctx = LintContext.from_code(code)
+    runner_kwargs.setdefault("packs", ["code"])
     return LintRunner(**runner_kwargs).run(ctx)
 
 

@@ -1,0 +1,116 @@
+"""SARIF 2.1.0 export for lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is what CI code-
+scanning surfaces ingest for inline PR annotation.  The export covers
+every diagnostic of a run — including baseline-suppressed findings,
+which carry an ``external`` suppression record so consumers show them
+as reviewed-and-accepted instead of new.
+
+Only the stable core of the format is emitted: tool driver with rule
+metadata, one result per diagnostic with a physical location (file +
+line for code findings, a logical location string otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+
+#: SARIF spec version emitted.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVEL = {Severity.ERROR: "error", Severity.WARNING: "warning",
+          Severity.INFO: "note"}
+
+
+def _rule_descriptor(rule_cls: Any) -> Dict[str, Any]:
+    instance = rule_cls()
+    return {
+        "id": instance.full_id,
+        "name": instance.slug.replace("-", " ").title().replace(" ", ""),
+        "shortDescription": {
+            "text": instance.description or instance.slug},
+        "defaultConfiguration": {
+            "level": _LEVEL[instance.default_severity]},
+        "properties": {"pack": instance.pack},
+    }
+
+
+def _result(diagnostic: Diagnostic, suppressed: bool,
+            path_prefix: str) -> Dict[str, Any]:
+    location = diagnostic.location
+    entry: Dict[str, Any] = {
+        "ruleId": diagnostic.rule,
+        "level": _LEVEL[diagnostic.severity],
+        "message": {"text": diagnostic.message
+                    + (f" (hint: {diagnostic.hint})"
+                       if diagnostic.hint else "")},
+    }
+    if location.scope == "code" and location.container:
+        uri = (f"{path_prefix}/{location.container}"
+               if path_prefix else location.container)
+        physical: Dict[str, Any] = {
+            "artifactLocation": {"uri": uri}}
+        if location.line is not None:
+            physical["region"] = {"startLine": location.line}
+        entry["locations"] = [{"physicalLocation": physical}]
+    else:
+        entry["locations"] = [{
+            "logicalLocations": [{
+                "fullyQualifiedName": str(location)}]}]
+    if suppressed:
+        entry["suppressions"] = [{
+            "kind": "external",
+            "justification": "recorded in .lint-baseline.json"}]
+    return entry
+
+
+def to_sarif(report: LintReport,
+             suppressed: Sequence[Diagnostic] = (),
+             path_prefix: str = "src/repro",
+             tool_version: Optional[str] = None) -> Dict[str, Any]:
+    """Render a report (plus suppressed findings) as a SARIF log.
+
+    Args:
+        report: the gated report (new findings + stale warnings).
+        suppressed: baseline-suppressed findings, emitted with a
+            suppression record.
+        path_prefix: prefix mapping analyzer-relative paths onto
+            repo-relative URIs (the analyzer scans ``src/repro``).
+        tool_version: overrides the package version string.
+    """
+    from repro.lint.runner import all_rule_classes
+
+    if tool_version is None:
+        try:
+            import repro
+
+            tool_version = getattr(repro, "__version__", "0")
+        except ImportError:  # pragma: no cover - defensive
+            tool_version = "0"
+    results: List[Dict[str, Any]] = []
+    for diagnostic in report:
+        results.append(_result(diagnostic, False, path_prefix))
+    for diagnostic in suppressed:
+        results.append(_result(diagnostic, True, path_prefix))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://github.com/repro/repro",
+                    "version": str(tool_version),
+                    "rules": [_rule_descriptor(cls)
+                              for cls in all_rule_classes()],
+                },
+            },
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }

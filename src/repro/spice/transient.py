@@ -103,10 +103,10 @@ class TransientSimulator:
         opts = self.options
         eq = self.equations
         sources = {name: as_source(src) for name, src in inputs.items()}
-        missing = [name for name in {
-            e.gate_input for e in self.stage.transistors} if name not in sources]
+        missing = sorted(
+            {e.gate_input for e in self.stage.transistors} - set(sources))
         if missing:
-            raise ValueError(f"missing input sources for {sorted(missing)}")
+            raise ValueError(f"missing input sources for {missing}")
 
         v = self._initial_state(sources, initial)
 

@@ -75,6 +75,7 @@ def test_json_golden(tmp_path, capsys):
     data = json.loads(capsys.readouterr().out)
     assert code == 1
     assert data == {
+        "schema_version": 2,
         "diagnostics": [
             {
                 "rule": "ERC003-pole-unreachable",
@@ -118,7 +119,7 @@ def test_json_golden(tmp_path, capsys):
             },
         ],
         "summary": {"errors": 3, "warnings": 1, "infos": 0,
-                    "rules_checked": 21},
+                    "rules_checked": 31},
     }
 
 

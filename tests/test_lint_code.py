@@ -1,0 +1,389 @@
+"""The ``code`` rule pack: determinism/concurrency static analysis.
+
+Three layers of coverage:
+
+* rule unit tests over synthetic sources (``CodeContext.from_sources``),
+* the baseline mechanism (new finding fails, baselined passes, stale
+  entry warns),
+* the seeded-mutation test required by the issue: copy ``src/repro`` to
+  a temp tree, inject an unordered-set iteration into
+  ``analysis/parallel.py``, and assert DET001 catches it.
+"""
+
+import json
+import os
+import shutil
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.lint import (
+    Baseline,
+    BaselineEntry,
+    CodeContext,
+    LintContext,
+    LintRunner,
+    STALE_BASELINE_ID,
+    default_scan_root,
+    lint_code,
+    to_sarif,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_code_rules(sources, **runner_kwargs):
+    """Lint a dict of {relpath: source} with the code pack only."""
+    code = CodeContext.from_sources(sources)
+    runner_kwargs.setdefault("packs", ["code"])
+    runner = LintRunner(**runner_kwargs)
+    return runner.run(LintContext.from_code(code))
+
+
+def rules_hit(report):
+    return {d.rule for d in report}
+
+
+# ---------------------------------------------------------------------------
+# Determinism family
+
+
+def test_det001_flags_set_iteration_into_list():
+    report = run_code_rules({"analysis/acc.py": (
+        "def collect(items):\n"
+        "    seen = set(items)\n"
+        "    out = []\n"
+        "    for item in seen:\n"
+        "        out.append(item)\n"
+        "    return out\n"
+    )})
+    assert "DET001-unordered-iteration" in rules_hit(report)
+    (diag,) = [d for d in report if d.rule.startswith("DET001")]
+    assert diag.location.container == "analysis/acc.py"
+    assert diag.location.element == "collect"
+
+
+def test_det001_sorted_iteration_is_clean():
+    report = run_code_rules({"analysis/acc.py": (
+        "def collect(items):\n"
+        "    seen = set(items)\n"
+        "    out = []\n"
+        "    for item in sorted(seen):\n"
+        "        out.append(item)\n"
+        "    return out\n"
+    )})
+    assert "DET001-unordered-iteration" not in rules_hit(report)
+
+
+def test_det001_order_insensitive_reduction_is_clean():
+    # sum() over a set is order-independent; no finding.
+    report = run_code_rules({"analysis/acc.py": (
+        "def total(items):\n"
+        "    seen = set(items)\n"
+        "    return sum(v for v in seen) + len(seen)\n"
+    )})
+    assert "DET001-unordered-iteration" not in rules_hit(report)
+
+
+def test_det002_unseeded_rng_flagged_seeded_ok():
+    report = run_code_rules({"analysis/jitter.py": (
+        "import random\n"
+        "import numpy as np\n"
+        "def noisy():\n"
+        "    return random.random()\n"
+        "def seeded():\n"
+        "    rng = np.random.default_rng(1234)\n"
+        "    return rng.normal()\n"
+    )})
+    hits = [d for d in report if d.rule.startswith("DET002")]
+    assert len(hits) == 1
+    assert hits[0].location.element == "noisy"
+
+
+def test_det002_exempt_in_chaos_harness():
+    report = run_code_rules({"resilience/chaos.py": (
+        "import random\n"
+        "def shake():\n"
+        "    return random.random()\n"
+    )})
+    assert "DET002-unseeded-rng" not in rules_hit(report)
+
+
+def test_det003_wall_clock_in_result_code():
+    report = run_code_rules({"core/solve.py": (
+        "import time\n"
+        "def solve(x):\n"
+        "    return x + time.time()\n"
+    )})
+    assert "DET003-wall-clock" in rules_hit(report)
+
+
+def test_det003_metrics_sink_is_exempt():
+    report = run_code_rules({"analysis/timed.py": (
+        "import time\n"
+        "def solve(x, metrics):\n"
+        "    start = time.monotonic()\n"
+        "    y = x * 2\n"
+        "    metrics.observe('solve_s', time.monotonic() - start)\n"
+        "    return y\n"
+    )})
+    assert "DET003-wall-clock" not in rules_hit(report)
+
+
+def test_det004_float_equality_in_kernel_only():
+    src = ("def check(v):\n"
+           "    return v == 0.5\n")
+    kernel = run_code_rules({"linalg/cmp.py": src})
+    outside = run_code_rules({"io/cmp.py": src})
+    assert "DET004-float-equality" in rules_hit(kernel)
+    assert "DET004-float-equality" not in rules_hit(outside)
+
+
+def test_det005_unsorted_listdir():
+    report = run_code_rules({"analysis/scan.py": (
+        "import os\n"
+        "def decks(root):\n"
+        "    return [f for f in os.listdir(root)]\n"
+        "def decks_sorted(root):\n"
+        "    return sorted(os.listdir(root))\n"
+    )})
+    hits = [d for d in report if d.rule.startswith("DET005")]
+    assert len(hits) == 1
+    assert hits[0].location.element == "decks"
+
+
+# ---------------------------------------------------------------------------
+# Concurrency family
+
+
+WORKER_GLOBAL = (
+    "from concurrent.futures import ThreadPoolExecutor\n"
+    "_CACHE = {}\n"
+    "def _work(key):\n"
+    "    _CACHE[key] = key * 2\n"
+    "    return _CACHE[key]\n"
+    "def run_all(keys):\n"
+    "    with ThreadPoolExecutor() as pool:\n"
+    "        futures = [pool.submit(_work, k) for k in keys]\n"
+    "    return [f.result() for f in futures]\n"
+)
+
+
+def test_conc001_worker_mutates_module_global():
+    report = run_code_rules({"analysis/pool.py": WORKER_GLOBAL})
+    hits = [d for d in report if d.rule.startswith("CONC001")]
+    assert hits and hits[0].location.element == "_work"
+
+
+def test_conc001_lock_guard_is_exempt():
+    report = run_code_rules({"analysis/pool.py": (
+        "import threading\n"
+        "from concurrent.futures import ThreadPoolExecutor\n"
+        "_CACHE = {}\n"
+        "_LOCK = threading.Lock()\n"
+        "def _work(key):\n"
+        "    with _LOCK:\n"
+        "        _CACHE[key] = key * 2\n"
+        "    return key\n"
+        "def run_all(keys):\n"
+        "    with ThreadPoolExecutor() as pool:\n"
+        "        return [pool.submit(_work, k) for k in keys]\n"
+    )})
+    assert "CONC001-worker-global-mutation" not in rules_hit(report)
+
+
+def test_conc003_bare_except_is_error():
+    report = run_code_rules({"analysis/sweep.py": (
+        "def run(solver):\n"
+        "    try:\n"
+        "        return solver()\n"
+        "    except:\n"
+        "        pass\n"
+    )})
+    hits = [d for d in report if d.rule.startswith("CONC003")]
+    assert hits and hits[0].severity.name == "ERROR"
+
+
+def test_conc004_environ_write_flagged():
+    report = run_code_rules({"analysis/cfg.py": (
+        "import os\n"
+        "def configure(n):\n"
+        "    os.environ['OMP_NUM_THREADS'] = str(n)\n"
+    )})
+    assert "CONC004-env-mutation" in rules_hit(report)
+
+
+def test_code001_unparseable_source():
+    report = run_code_rules({"analysis/broken.py": "def oops(:\n"})
+    assert "CODE001-unparseable-source" in rules_hit(report)
+
+
+# ---------------------------------------------------------------------------
+# Baseline mechanism (satellite 3)
+
+
+def baselined_report():
+    return run_code_rules({"analysis/acc.py": (
+        "def collect(items):\n"
+        "    for item in set(items):\n"
+        "        print(item)\n"
+    )})
+
+
+def test_baseline_new_finding_fails():
+    report = baselined_report()
+    result = Baseline().apply(report)
+    assert result.report.errors
+    assert not result.suppressed and not result.stale
+
+
+def test_baseline_matched_finding_is_suppressed():
+    report = baselined_report()
+    entry = BaselineEntry(rule="DET001", path="analysis/acc.py",
+                          symbol="collect", reason="test fixture")
+    result = Baseline([entry]).apply(report)
+    assert not result.report.errors
+    assert len(result.suppressed) == 1
+    assert not result.stale
+
+
+def test_baseline_stale_entry_warns():
+    report = run_code_rules({"analysis/ok.py": "x = 1\n"})
+    entry = BaselineEntry(rule="DET001", path="analysis/gone.py",
+                          symbol="collect", reason="fixed long ago")
+    result = Baseline([entry]).apply(report)
+    assert result.stale == [entry]
+    assert any(d.rule == STALE_BASELINE_ID
+               for d in result.report.warnings)
+
+
+def test_baseline_empty_reason_rejected(tmp_path):
+    path = tmp_path / "base.json"
+    path.write_text(json.dumps({
+        "schema_version": 1,
+        "entries": [{"rule": "DET001", "path": "a.py",
+                     "symbol": "f", "reason": "  "}],
+    }))
+    with pytest.raises(ValueError, match="justification"):
+        Baseline.load(str(path))
+
+
+def test_baseline_roundtrip(tmp_path):
+    entry = BaselineEntry(rule="DET004", path="core/x.py",
+                          symbol="f", reason="rail tag compare")
+    path = tmp_path / "base.json"
+    path.write_text(json.dumps(Baseline([entry]).to_json()))
+    loaded = Baseline.load(str(path))
+    assert loaded.entries == [entry]
+
+
+# ---------------------------------------------------------------------------
+# Self-scan and the seeded-mutation acceptance test
+
+
+def test_self_scan_is_clean_under_checked_in_baseline():
+    report = lint_code(default_scan_root())
+    baseline = Baseline.load(os.path.join(REPO_ROOT,
+                                          ".lint-baseline.json"))
+    result = baseline.apply(report)
+    assert not result.report.errors, \
+        result.report.format_text()
+    assert not result.report.warnings, \
+        result.report.format_text()
+    assert not result.stale
+
+
+MUTATION = (
+    "\n\n"
+    "def _merge_pending_nets(pending):\n"
+    "    pending = set(pending)\n"
+    "    merged = []\n"
+    "    for net in pending:\n"
+    "        merged.append(net)\n"
+    "    return merged\n"
+)
+
+
+def test_seeded_mutation_in_parallel_is_caught(tmp_path):
+    """Inject an unordered-set iteration into analysis/parallel.py."""
+    scan = tmp_path / "repro"
+    shutil.copytree(os.path.dirname(repro.__file__), scan,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    target = scan / "analysis" / "parallel.py"
+    target.write_text(target.read_text() + MUTATION)
+
+    report = lint_code(str(scan))
+    # The pre-existing accepted findings still appear (no baseline
+    # here), plus exactly one new DET001 in the mutated function.
+    det = [d for d in report if d.rule.startswith("DET001")]
+    assert len(det) == 1
+    assert det[0].location.container.endswith("analysis/parallel.py")
+    assert det[0].location.element == "_merge_pending_nets"
+
+
+def test_unmutated_copy_has_no_det001(tmp_path):
+    scan = tmp_path / "repro"
+    shutil.copytree(os.path.dirname(repro.__file__), scan,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    report = lint_code(str(scan))
+    assert not [d for d in report if d.rule.startswith("DET001")]
+
+
+# ---------------------------------------------------------------------------
+# CLI integration
+
+
+def test_cli_code_json_and_sarif(tmp_path, capsys):
+    sarif_path = tmp_path / "out.sarif"
+    code = main(["lint", "--code",
+                 "--baseline",
+                 os.path.join(REPO_ROOT, ".lint-baseline.json"),
+                 "--format", "json",
+                 "--sarif", str(sarif_path),
+                 "--fail-on", "warning"])
+    data = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert data["schema_version"] == 2
+    assert data["diagnostics"] == []
+    assert data["baseline"]["suppressed"] == 4
+    assert data["baseline"]["stale"] == 0
+
+    sarif = json.loads(sarif_path.read_text())
+    assert sarif["version"] == "2.1.0"
+    (run,) = sarif["runs"]
+    # The four baselined findings are present but marked suppressed.
+    assert len(run["results"]) == 4
+    assert all(r["suppressions"][0]["kind"] == "external"
+               for r in run["results"])
+
+
+def test_cli_code_fails_on_new_finding(tmp_path, capsys):
+    scan = tmp_path / "repro"
+    (scan / "analysis").mkdir(parents=True)
+    (scan / "analysis" / "bad.py").write_text(
+        "def emit(nets):\n"
+        "    for net in set(nets):\n"
+        "        print(net)\n")
+    code = main(["lint", "--code", "--root", str(scan),
+                 "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DET001-unordered-iteration" in out
+
+
+def test_cli_lint_requires_deck_or_code(capsys):
+    assert main(["lint"]) == 2
+
+
+def test_sarif_physical_location_prefix():
+    report = run_code_rules({"analysis/acc.py": (
+        "def collect(items):\n"
+        "    for item in set(items):\n"
+        "        print(item)\n"
+    )})
+    sarif = to_sarif(report)
+    (run,) = sarif["runs"]
+    uri = run["results"][0]["locations"][0][
+        "physicalLocation"]["artifactLocation"]["uri"]
+    assert uri == "src/repro/analysis/acc.py"
