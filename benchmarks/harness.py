@@ -180,15 +180,38 @@ def save_result(filename: str, content: str) -> str:
     return path
 
 
-def save_metrics(filename: str) -> str:
+def save_metrics(filename: str,
+                 phases: Optional[Dict[str, float]] = None) -> str:
     """Dump the current metrics registry under benchmarks/results/.
 
     The CI bench job uploads these dumps (``BENCH_headline.json``) as
-    artifacts so the perf trajectory accumulates across commits.
+    artifacts so the perf trajectory accumulates across commits.  When
+    the run profiled itself, ``phases`` (frame label -> exclusive
+    seconds, see :func:`repro.obs.profile.phase_self_seconds`) is
+    embedded as a top-level ``phases`` section so the artifact carries
+    the cost attribution alongside the counters.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, filename)
-    return telemetry().export_metrics(path)
+    telemetry().export_metrics(path)
+    if phases:
+        with open(path) as handle:
+            document = json.load(handle)
+        document["phases"] = {name: float(value)
+                              for name, value in sorted(phases.items())}
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return path
+
+
+def save_speedscope(filename: str) -> str:
+    """Write the current profiler ledger as a speedscope artifact."""
+    from repro.obs.profile import export_speedscope, profiler
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    return export_speedscope(profiler(), path, name=filename)
 
 
 def _git_sha() -> str:
@@ -206,13 +229,18 @@ def _git_sha() -> str:
 
 
 def append_history(run: str, metrics: Dict[str, float],
-                   path: Optional[str] = None) -> str:
+                   path: Optional[str] = None,
+                   phases: Optional[Dict[str, float]] = None) -> str:
     """Append one run entry to the benchmark history ledger.
 
     Args:
         run: benchmark name (``"headline"``).
         metrics: headline metric name -> value for this run.
         path: history file override (default :data:`HISTORY_FILE`).
+        phases: optional phase self-time section (frame label ->
+            exclusive seconds); ``repro bench-diff`` uses consecutive
+            profiled entries to attribute a regression to the phase
+            whose self time grew the most.
 
     Returns:
         The history file path.
@@ -227,6 +255,9 @@ def append_history(run: str, metrics: Dict[str, float],
         "metrics": {name: float(value)
                     for name, value in sorted(metrics.items())},
     }
+    if phases:
+        entry["phases"] = {name: float(value)
+                           for name, value in sorted(phases.items())}
     with open(path, "a") as handle:
         handle.write(json.dumps(entry, sort_keys=True) + "\n")
     return path

@@ -50,6 +50,7 @@ from repro.circuit.netlist import LogicStage
 from repro.circuit.stage import StageGraph
 from repro.obs import inc, set_gauge, span
 from repro.obs.flight import flight
+from repro.obs.profile import profile_add, profiler
 from repro.resilience import faults
 from repro.spice.results import SimulationStats
 
@@ -317,6 +318,7 @@ class StageResultCache:
                 value = self._data[key]
                 self.hits += 1
                 inc("sta.cache", result="hit")
+                profile_add("cache_hits", 1, root="sta.cache")
                 return value
             self.misses += 1
             inc("sta.cache", result="miss")
@@ -508,11 +510,18 @@ _WORKER_ANALYZER: Optional[StaticTimingAnalyzer] = None
 
 def _process_worker_init(tech, library, options, propagate_slews,
                          input_slew, flight_config=None,
-                         fault_plan=None) -> None:
+                         fault_plan=None, profile_config=None) -> None:
     global _WORKER_ANALYZER
     _WORKER_ANALYZER = StaticTimingAnalyzer(
         tech, library=library, options=options,
         propagate_slews=propagate_slews, input_slew=input_slew)
+    if profile_config is not None and profile_config.enabled:
+        # Workers accumulate into their own ledgers; each stage task
+        # drains its ledger into the return payload so the parent can
+        # merge deterministically (cell-wise addition is commutative).
+        from repro.obs.profile import configure_profile
+
+        configure_profile(profile_config)
     if flight_config is not None and flight_config.enabled:
         # Workers record into their own ledgers; bundles (the durable
         # artifact) land in the shared bundle_dir either way.
@@ -535,9 +544,10 @@ def _process_stage_task(stage: LogicStage,
                         bucket: Optional[float]):
     """Worker-process task: evaluate one stage against shipped cache.
 
-    Returns (arrivals, stats, new cache entries, shipped-entry hits);
-    the parent merges the new entries into the shared cache so later
-    dispatches of equal configurations hit.
+    Returns (arrivals, stats, new cache entries, shipped-entry hits,
+    drained profile ledger or None); the parent merges the new entries
+    into the shared cache so later dispatches of equal configurations
+    hit, and merges the ledger into the parent profiler.
     """
     analyzer = _WORKER_ANALYZER
     assert analyzer is not None, "worker pool initializer did not run"
@@ -569,7 +579,9 @@ def _process_stage_task(stage: LogicStage,
     computed = compute_stage_arrivals(stage, snapshot, arc_fn,
                                       analyzer.propagate_slews,
                                       analyzer.input_slew)
-    return computed, stats, new_entries, hit_count
+    prof = profiler()
+    ledger = prof.drain() if prof.enabled else None
+    return computed, stats, new_entries, hit_count, ledger
 
 
 # ----------------------------------------------------------------------
@@ -678,7 +690,7 @@ class ParallelStaEngine:
             initargs=(self.analyzer.tech, evaluator.library,
                       evaluator.options, self.analyzer.propagate_slews,
                       self.analyzer.input_slew, flight().config,
-                      faults.active_plan()))
+                      faults.active_plan(), profiler().config))
 
     def _run_pooled(self, graph: StageGraph, order: List[LogicStage],
                     arrivals: Dict[Event, ArrivalTime],
@@ -802,11 +814,13 @@ class ParallelStaEngine:
             if config.backend == "thread":
                 computed, stats = payload
             else:
-                computed, stats, new_entries, hit_count = payload
+                computed, stats, new_entries, hit_count, ledger = payload
                 if self.cache is not None:
                     self.cache.merge(new_entries)
                     self.cache.record_external(
                         hit_count, len(new_entries))
+                if ledger is not None:
+                    profiler().merge(ledger)
             complete(stage, computed, stats)
 
         def recover_broken_pool(first_casualty: LogicStage) -> None:

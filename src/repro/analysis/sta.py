@@ -30,6 +30,7 @@ from repro.devices.table_model import TableModelLibrary
 from repro.devices.technology import Technology
 from repro.obs import inc, observe, span
 from repro.obs.flight import flight
+from repro.obs.profile import profile_add, profile_phase
 from repro.resilience import faults
 from repro.resilience.ladder import (
     QUALITY_QWM,
@@ -331,8 +332,9 @@ class StaticTimingAnalyzer:
         arc_ctx = (fl.context(arc_input=switching_input)
                    if fl.enabled else _NULL_CTX)
         result: Optional[Arc]
-        with span("sta.stage", stage=stage.name, output=output,
-                  direction=out_direction, input=switching_input), \
+        with profile_phase("sta.arc", tag=stage.name), \
+                span("sta.stage", stage=stage.name, output=output,
+                     direction=out_direction, input=switching_input), \
                 arc_ctx, \
                 faults.scope(stage=stage.name, arc_start=arc_start):
             def qwm_attempt(evaluator: WaveformEvaluator
@@ -388,6 +390,7 @@ class StaticTimingAnalyzer:
             except ValueError:
                 continue
             inc("sta.stage.solves")
+            profile_add("solves", 1, root="sta.arc")
             # The run total counts every solve actually performed,
             # including sensitizations rejected just below.
             if stats is not None:

@@ -79,14 +79,29 @@ Commands
 ``stats [DECK.sp]``
     Evaluate one transition with QWM under full telemetry and print a
     cost-breakdown table: regions, Newton iterations per region, device
-    evaluations, linear-solve counts and the wall-time span tree.
-    Without a deck, ``--circuit nand3`` (and friends) runs a built-in
-    stage.  ``--json`` emits the breakdown plus the raw metrics dump.
+    evaluations, linear-solve counts, resilience-ladder escalations and
+    the wall-time span tree.  Without a deck, ``--circuit nand3`` (and
+    friends) runs a built-in stage.  ``--json`` emits the breakdown
+    plus the raw metrics dump.
+
+``profile [TARGET]``
+    Run a workload under the phase-level cost-attribution profiler
+    (:mod:`repro.obs.profile`) and print self-/cumulative-time tables
+    plus the hottest ``(phase, stage)`` cells.  TARGET is a pytest
+    file (``repro profile benchmarks/bench_headline.py``, run
+    in-process), a single-stage deck, or empty for a built-in circuit.
+    ``--speedscope FILE`` / ``--collapsed FILE`` export flame-graph
+    formats.
 
 Global flags: ``--trace FILE`` writes a Chrome ``trace_event`` file
-(load at chrome://tracing or https://ui.perfetto.dev) and ``--metrics
-FILE`` writes the metrics-registry JSON dump; both enable telemetry for
-any command.
+(load at chrome://tracing or https://ui.perfetto.dev), ``--metrics
+FILE`` writes the metrics-registry JSON dump (both enable telemetry
+for any command), and ``--profile FILE`` enables the phase profiler
+for any command and writes a speedscope profile on exit.  The three
+compose freely; precedence is irrelevant because each drives its own
+subsystem.  Telemetry and profiling are disabled by default and cost
+one attribute check per instrumentation point when off; the profiler
+adds < 5 % wall time when on (asserted in the benchmark suite).
 
 Voltage/time values accept SPICE suffixes (``20p``, ``3.3``, ``50f``).
 Source specs: ``name=step:v0:v1:t``, ``name=ramp:v0:v1:t0:trise``,
@@ -114,6 +129,16 @@ from repro.devices.corners import all_corners
 from repro.io import ascii_plot, parse_spice_netlist
 from repro.io.spice_netlist import parse_value
 from repro.obs import ObsConfig, configure, disable, format_span_tree, telemetry
+from repro.obs.profile import (
+    ProfileConfig,
+    configure_profile,
+    disable_profile,
+    export_speedscope,
+    profiler,
+    render_profile,
+    summarize_profile,
+    to_collapsed,
+)
 from repro.spice import (
     ConstantSource,
     RampSource,
@@ -405,7 +430,11 @@ def _counter_total(registry, name: str, **labels) -> float:
     return metric.value(**labels) if labels else metric.total()
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
+def _evaluate_single_arc(args: argparse.Namespace):
+    """Solve the one transition ``stats``/``profile`` target describes.
+
+    Returns ``(solution, circuit_name, output, switching_input)``.
+    """
     from repro.core import WaveformEvaluator
 
     tech = CMOSP35
@@ -436,7 +465,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     solution = evaluator.evaluate(stage, output=output,
                                   direction=args.direction,
                                   inputs=sources)
+    return solution, circuit_name, output, switching
 
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.resilience.ladder import QUALITY_ORDER
+
+    solution, circuit_name, output, switching = \
+        _evaluate_single_arc(args)
     bundle = telemetry()
     registry = bundle.metrics
     stats = solution.stats
@@ -453,6 +489,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         "hit": _counter_total(registry, "device.table.cache",
                               result="hit"),
     }
+    # Resilience-ladder activity: without these a degraded run (rungs
+    # burning wall time on retries/SPICE) under-reports where time went.
+    escalations = {rung: _counter_total(registry,
+                                        "resilience.escalations",
+                                        rung=rung)
+                   for rung in QUALITY_ORDER}
+    arc_quality = {quality: _counter_total(registry,
+                                           "resilience.arc.quality",
+                                           quality=quality)
+                   for quality in QUALITY_ORDER}
 
     if args.json:
         document = {
@@ -470,6 +516,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             "linear_solves": solves,
             "convergence_failures": failures,
             "characterization_cache": cache,
+            "resilience": {
+                "escalations": escalations,
+                "arc_quality": arc_quality,
+            },
             "metrics": registry.to_json(),
             "trace": bundle.tracer.stats(),
         }
@@ -495,6 +545,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"{'convergence failures':<26}{int(failures):>10}")
     print(f"{'characterization cache':<26}"
           f"{int(cache['miss']):>10} miss / {int(cache['hit'])} hit")
+    total_esc = int(sum(escalations.values()))
+    esc_text = " / ".join(f"{int(count)} {rung}"
+                          for rung, count in escalations.items())
+    print(f"{'ladder escalations':<26}{total_esc:>10}   ({esc_text})")
+    if any(arc_quality.values()):
+        quality_text = " / ".join(f"{int(count)} {quality}"
+                                  for quality, count
+                                  in arc_quality.items() if count)
+        print(f"{'arc quality':<26}{'':>10}   ({quality_text})")
     print(f"{'delay (50%)':<26}{delay_text:>10}")
     print(f"{'solver wall time':<26}"
           f"{stats.wall_time * 1e3:>10.1f} ms")
@@ -503,6 +562,55 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(rule)
     print(format_span_tree(bundle.tracer.records(),
                            dropped=bundle.tracer.stats()["dropped"]))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run a workload under the phase profiler and report attribution.
+
+    The target is either a pytest file (benchmarks/bench_*.py — run
+    in-process so the profiler ledger survives the workload's own
+    telemetry lifecycle), a single-stage SPICE deck, or empty (a
+    built-in circuit via ``--circuit``).
+    """
+    target = args.target
+    prof = configure_profile(ProfileConfig(enabled=True,
+                                           max_cells=args.max_cells))
+    if target is not None and target.endswith(".py"):
+        if not os.path.exists(target):
+            raise FileNotFoundError(target)
+        import pytest
+
+        workload = target
+        code = pytest.main([target, "-q", "--no-header"])
+        if code not in (0, 5):  # 5 = no tests collected (plain script)
+            print(f"profile: workload exited with code {code}",
+                  file=sys.stderr)
+    else:
+        args.deck = target
+        workload = None
+        for _ in range(max(1, args.repeat)):
+            _, workload, _, _ = _evaluate_single_arc(args)
+
+    ledger = prof.to_json()
+    summary = summarize_profile(ledger)
+    if args.collapsed:
+        with open(args.collapsed, "w", encoding="utf-8") as handle:
+            handle.write(to_collapsed(ledger))
+        print(f"profile: wrote collapsed stacks to {args.collapsed}",
+              file=sys.stderr)
+    if args.speedscope:
+        export_speedscope(ledger, args.speedscope,
+                          name=f"repro profile {workload}")
+        print(f"profile: wrote speedscope profile to {args.speedscope}",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps({"workload": workload, "ledger": ledger,
+                          "summary": summary},
+                         indent=2, sort_keys=True))
+    else:
+        print(f"workload: {workload}")
+        print(render_profile(summary, top=args.top))
     return 0
 
 
@@ -672,6 +780,31 @@ def _bench_regressions(prev: Dict, last: Dict,
     return regressions
 
 
+def _phase_attribution(prev: Dict, last: Dict) -> Optional[Dict]:
+    """The phase whose self time grew the most between two entries.
+
+    Both history entries must carry a ``phases`` section (frame label
+    -> exclusive seconds, written by the bench suite when profiling is
+    on); returns None when either lacks one or nothing grew.
+    """
+    prev_phases = prev.get("phases") or {}
+    last_phases = last.get("phases") or {}
+    if not prev_phases or not last_phases:
+        return None
+    best = None
+    for frame in sorted(last_phases):
+        delta = last_phases[frame] - prev_phases.get(frame, 0.0)
+        if best is None or delta > best[1]:
+            best = (frame, delta)
+    if best is None or best[1] <= 0.0:
+        return None
+    frame, delta = best
+    baseline = prev_phases.get(frame, 0.0)
+    change_pct = (100.0 * delta / baseline) if baseline > 0 else None
+    return {"phase": frame, "delta_seconds": delta,
+            "change_pct": change_pct}
+
+
 def _cmd_bench_diff(args: argparse.Namespace) -> int:
     history = args.history or os.path.join(
         "benchmarks", "results", "BENCH_history.jsonl")
@@ -698,14 +831,29 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
               "run — absolute numbers are not comparable",
               file=sys.stderr)
     rows = _bench_regressions(prev, last, args.threshold)
+    attribution = _phase_attribution(prev, last)
     print(f"bench-diff: {prev.get('git_sha', '?')[:12]} -> "
           f"{last.get('git_sha', '?')[:12]} "
           f"(run={last.get('run', '?')}, band ±{args.threshold:.0f}%)")
+    time_like = ("seconds", "time")
     for row in rows:
         marker = "REGRESSION" if row["regression"] else "ok"
         print(f"  {row['metric']:<28} {row['baseline']:>12.4g} -> "
               f"{row['current']:>12.4g}  {row['change_pct']:>+8.2f}%  "
               f"{marker}")
+        if (row["regression"] and attribution is not None
+                and any(frag in row["metric"] for frag in time_like)):
+            pct = attribution["change_pct"]
+            growth = (f"+{pct:.0f}% self-time" if pct is not None
+                      else f"+{attribution['delta_seconds'] * 1e3:.1f}ms "
+                           "self-time (new phase)")
+            print(f"      regression attributed to: "
+                  f"{attribution['phase']}, {growth}")
+    if attribution is not None:
+        pct = attribution["change_pct"]
+        growth = (f"+{pct:.0f}%" if pct is not None else "new")
+        print(f"  phase attribution: largest self-time growth in "
+              f"{attribution['phase']} ({growth})")
     flagged = [r for r in rows if r["regression"]]
     if flagged:
         print(f"{len(flagged)} metric(s) regressed beyond "
@@ -726,6 +874,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics", metavar="FILE", default=None,
                         help="enable telemetry and write the metrics "
                              "JSON dump")
+    parser.add_argument("--profile", metavar="FILE", default=None,
+                        help="enable the phase profiler and write a "
+                             "speedscope JSON profile on exit "
+                             "(composes with --trace/--metrics; "
+                             "measured overhead < 5%%, exactly zero "
+                             "when off)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sta = sub.add_parser("sta", help="longest-path STA over a deck")
@@ -836,6 +990,45 @@ def build_parser() -> argparse.ArgumentParser:
                             "JSON")
     stats.set_defaults(func=_cmd_stats)
 
+    prof = sub.add_parser("profile",
+                          help="phase-level cost attribution of a "
+                               "workload (pytest file, deck or "
+                               "built-in circuit)")
+    prof.add_argument("target", nargs="?", default=None,
+                      help="a pytest workload (e.g. benchmarks/"
+                           "bench_headline.py, run in-process), a "
+                           "single-stage deck, or empty for the "
+                           "built-in --circuit")
+    prof.add_argument("--circuit", default="nand3",
+                      choices=sorted(_STATS_CIRCUITS),
+                      help="built-in stage when no target is given")
+    prof.add_argument("--direction", default="fall",
+                      choices=["fall", "rise"],
+                      help="output transition for circuit targets")
+    prof.add_argument("--output", default=None,
+                      help="output node (default: the stage's first)")
+    prof.add_argument("--input", default=None,
+                      help="switching input (default: the stage's "
+                           "first)")
+    prof.add_argument("--grid-step", default="0.1",
+                      help="characterization grid pitch [V]")
+    prof.add_argument("--repeat", type=int, default=1,
+                      help="evaluate circuit targets N times (larger "
+                           "samples for the self-time table)")
+    prof.add_argument("--top", type=int, default=10,
+                      help="hottest-cell rows to print")
+    prof.add_argument("--max-cells", type=int, default=4096,
+                      help="ledger cell cap (drops + counts beyond)")
+    prof.add_argument("--speedscope", metavar="FILE", default=None,
+                      help="write a speedscope JSON profile "
+                           "(open at https://www.speedscope.app)")
+    prof.add_argument("--collapsed", metavar="FILE", default=None,
+                      help="write Brendan Gregg collapsed stacks "
+                           "(for flamegraph.pl and friends)")
+    prof.add_argument("--json", action="store_true",
+                      help="emit the raw ledger and summary as JSON")
+    prof.set_defaults(func=_cmd_profile)
+
     gold = sub.add_parser("golden",
                           help="differential QWM-vs-SPICE golden suite")
     gold.add_argument("--update", action="store_true",
@@ -916,8 +1109,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     # The stats command needs telemetry regardless of the export flags.
     wants_telemetry = bool(args.trace or args.metrics
                            or args.command == "stats")
+    # --profile enables the phase profiler for any command; the
+    # profile subcommand configures its own (and owns the reporting).
+    wants_profile = bool(args.profile)
     if wants_telemetry:
         configure(ObsConfig(enabled=True))
+    if wants_profile and args.command != "profile":
+        configure_profile(ProfileConfig(enabled=True))
     try:
         return args.func(args)
     except FileNotFoundError as exc:
@@ -934,6 +1132,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.metrics:
                 bundle.export_metrics(args.metrics)
             disable()
+        if wants_profile:
+            export_speedscope(profiler(), args.profile)
+        if wants_profile or args.command == "profile":
+            disable_profile()
 
 
 if __name__ == "__main__":  # pragma: no cover

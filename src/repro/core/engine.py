@@ -30,6 +30,7 @@ from repro.core.qwm import QWMOptions, QWMSolution, QWMSolver
 from repro.linalg.newton import NewtonConvergenceError
 from repro.obs import inc, span
 from repro.obs.flight import flight
+from repro.obs.profile import profile_phase
 from repro.resilience import faults
 from repro.devices.table_model import TableModelLibrary
 from repro.devices.technology import Technology
@@ -187,8 +188,9 @@ class WaveformEvaluator:
             The QWM solution (waveforms + stats).
         """
         faults.check_stage_timeout()
-        with span("engine.evaluate", stage=stage.name, output=output,
-                  direction=direction):
+        with profile_phase("engine.evaluate", tag=stage.name), \
+                span("engine.evaluate", stage=stage.name, output=output,
+                     direction=direction):
             self._preflight_stage(stage)
             path = self.extract(stage, output, direction, inputs)
             start = self.default_initial(path, precharge, inputs=inputs,

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.path import DischargePath
 from repro.obs import inc
+from repro.obs.profile import profile_add
 from repro.linalg.sherman_morrison import solve_bordered_tridiagonal
 from repro.linalg.tridiagonal import TridiagonalMatrix
 from repro.linalg.newton import (
@@ -295,19 +296,35 @@ class RegionSystem:
             _, matrix, last_col = self.residual_and_parts(x)
             return (matrix, last_col)
 
+        # Linear-solve kinds are tallied in plain ints here and flushed
+        # to the profiler once per region solve — never per Newton
+        # iteration (see lint rule SOL006).
+        sm_solves = 0
+        lu_solves = 0
+
         def linear_solve(jac, rhs: np.ndarray) -> np.ndarray:
+            nonlocal sm_solves, lu_solves
             matrix, last_col = jac
             if use_sherman_morrison:
                 try:
-                    return solve_bordered_tridiagonal(matrix, last_col,
-                                                      rhs)
+                    out = solve_bordered_tridiagonal(matrix, last_col,
+                                                     rhs)
+                    sm_solves += 1
+                    return out
                 except np.linalg.LinAlgError:
                     pass
             dense = matrix.to_dense()
             dense[:, -1] += last_col
+            lu_solves += 1
             inc("linalg.solve.dense_lu")
             return np.linalg.solve(dense, rhs)
 
-        return solver.solve(self.residual, jacobian, x0,
-                            linear_solve=linear_solve,
-                            trajectory=trajectory)
+        try:
+            return solver.solve(self.residual, jacobian, x0,
+                                linear_solve=linear_solve,
+                                trajectory=trajectory)
+        finally:
+            if sm_solves:
+                profile_add("sherman_morrison", sm_solves)
+            if lu_solves:
+                profile_add("dense_lu", lu_solves)

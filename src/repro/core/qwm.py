@@ -43,6 +43,7 @@ from repro.core.waveforms import PiecewiseQuadraticWaveform, QuadraticPiece
 from repro.linalg.newton import NewtonConvergenceError, NewtonOptions
 from repro.obs import inc, observe, span
 from repro.obs.flight import flight
+from repro.obs.profile import profile_phase
 from repro.resilience import faults
 from repro.spice.results import SimulationStats, TransientResult
 from repro.spice.sources import SourceLike, as_source
@@ -162,6 +163,12 @@ def _condition_json(condition) -> Dict[str, object]:
         return {"kind": "turn_on",
                 "device_index": int(condition.device_index)}
     return {"kind": type(condition).__name__}
+
+
+#: Profiler region-kind tags (the taxonomy's middle axis).
+_CONDITION_TAGS = {"TurnOnCondition": "turn_on",
+                   "CrossingCondition": "crossing",
+                   "TimeCondition": "time"}
 
 
 class _TableQueryMeter:
@@ -393,7 +400,8 @@ class QWMSolver:
                         continue
                     solved = self._solve_region(sources, k_total, tau,
                                                 u, i, TimeCondition(t_j),
-                                                stats, meter)
+                                                stats, meter,
+                                                phase="qwm.phase3")
                     if solved is None:
                         ok = False
                         break
@@ -418,7 +426,8 @@ class QWMSolver:
                     continue
                 condition = CrossingCondition(target)
                 solved = self._solve_region(sources, k_total, tau, u, i,
-                                            condition, stats, meter)
+                                            condition, stats, meter,
+                                            phase="qwm.phase3")
                 # An input-waveform break (a ramp ending) inside the
                 # region makes the Miller-injection term discontinuous,
                 # which the quadratic link cannot represent — for fast
@@ -431,7 +440,8 @@ class QWMSolver:
                     if brk is not None and brk < opts.t_stop:
                         anchored = self._solve_region(
                             sources, k_total, tau, u, i,
-                            TimeCondition(brk), stats, meter)
+                            TimeCondition(brk), stats, meter,
+                            phase="qwm.phase3")
                         if self._fl is not None:
                             self._fl.record(
                                 "fallback", solve_id=self._solve_id,
@@ -690,7 +700,8 @@ class QWMSolver:
     def _solve_region(self, sources, active: int, tau: float,
                       u: np.ndarray, i: np.ndarray, condition,
                       stats: SimulationStats,
-                      meter: Optional["_TableQueryMeter"] = None
+                      meter: Optional["_TableQueryMeter"] = None,
+                      phase: str = "qwm.phase12"
                       ) -> Optional[Tuple[float, np.ndarray, np.ndarray,
                                           np.ndarray, int]]:
         """Solve one region with retries.
@@ -716,12 +727,17 @@ class QWMSolver:
             scales += [(1.0, 1), (0.3, 1)]
         region_span = span("qwm.region", kind=type(condition).__name__,
                            active=active)
+        # Profiler frame: (solver phase, region kind) — op counts are
+        # accumulated locally and flushed once at frame exit, never
+        # inside the Newton iteration loop (see lint rule SOL006).
+        region_phase = profile_phase(phase, tag=_CONDITION_TAGS.get(
+            type(condition).__name__, "region"))
         region_start = time.perf_counter()
         attempts = 0
         reasons: List[str] = []
         failed_iterations = 0
         region_queries = 0
-        with region_span:
+        with region_phase as prof, region_span:
             for scale, order in scales:
                 attempts += 1
                 region_iterations = 0
@@ -784,9 +800,12 @@ class QWMSolver:
                     caps = refined
                     guess = result.x.copy()
                 if meter is not None:
-                    region_queries += meter.drain(stats)
+                    drained = meter.drain(stats)
+                    region_queries += drained
+                    prof.count("table_evaluations", drained)
                 if result is None:
                     inc("newton.convergence.failures")
+                    prof.count("newton_failures")
                     continue
                 delta = tau_new - tau
                 order_f = float(order)
@@ -800,6 +819,9 @@ class QWMSolver:
                 observe("qwm.newton.iterations", region_iterations)
                 observe("qwm.region.wall_seconds",
                         time.perf_counter() - region_start)
+                prof.count("regions")
+                prof.count("newton_iterations", region_iterations)
+                prof.count("attempts", attempts)
                 region_span.set(iterations=region_iterations,
                                 attempts=attempts, order=order)
                 if rec is not None:

@@ -13,8 +13,10 @@ erc     ``ERC001-floating-gate`` … ``ERC008-stage-extraction`` —
         structural polar-graph preconditions (Definition 1)
 model   ``MOD001-nonfinite-table`` … ``MOD005-corner-mismatch`` —
         tabular I/V and capacitance sanity
-solver  ``SOL001-stack-depth`` … ``SOL005-flight-ledger-budget`` —
-        QWM/Newton configuration preflight
+solver  ``SOL001-stack-depth`` … ``SOL006-hot-loop-instrumentation``
+        — QWM/Newton configuration preflight, plus one code-context
+        rule keeping instrumentation out of per-iteration hot loops
+        (runs under ``lint --code`` alongside the code pack)
 interconnect  ``INT001-negative-rc`` … ``INT003-coupling-self-loop``
 code    ``DET001-unordered-iteration`` … ``CONC004-env-mutation`` —
         determinism & concurrency-safety static analysis of

@@ -9,11 +9,14 @@ grid resolution.
 
 from __future__ import annotations
 
+import ast
 import math
+import re
 from typing import Any, Iterator, List, Optional
 
 from repro.lint.context import LintContext
 from repro.lint.diagnostics import Diagnostic, Location, Severity
+from repro.lint.rules_code import _code, _in_packages, _loc, _unparse
 from repro.lint.runner import LintRule, register
 
 #: Milestone fractions above this are considered out of range (the
@@ -324,3 +327,124 @@ class FlightLedgerBudgetRule(LintRule):
             hint="set FlightConfig(event_limit=...) — the default "
                  "20000 keeps forensics for the most recent solves "
                  "while bounding memory")
+
+
+# ======================================================================
+# SOL006 — instrumentation inside per-iteration inner loops
+# ======================================================================
+#: Packages whose inner loops are the measured hot path.
+_HOT_PACKAGES = ("core", "linalg", "spice", "devices")
+#: Module-level telemetry/profiler helpers (called by bare name).
+_BARE_INSTRUMENTATION = frozenset({
+    "span", "inc", "observe", "set_gauge",
+    "profile_phase", "profile_add"})
+#: Method-style instrumentation sinks (``recorder.record(...)``).
+_ATTR_INSTRUMENTATION = frozenset(
+    _BARE_INSTRUMENTATION | {"record", "add_event"})
+#: Loop headers that look like per-iteration solver loops.
+_ITERATION_HINT = re.compile(
+    r"iter|newton|step|converg|max_it|sweep", re.IGNORECASE)
+#: Guard tests that mark a call as sampled/decimated.
+_SAMPLING_HINT = re.compile(r"sample|every|stride|decim", re.IGNORECASE)
+
+
+def _instrumentation_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in _BARE_INSTRUMENTATION:
+        return func.id
+    if isinstance(func, ast.Attribute) \
+            and func.attr in _ATTR_INSTRUMENTATION:
+        return func.attr
+    return None
+
+
+def _is_iteration_loop(node: ast.AST) -> bool:
+    """While loops and iteration-named for loops count as inner loops."""
+    if isinstance(node, ast.While):
+        return True
+    if isinstance(node, ast.For):
+        header = f"{_unparse(node.target)} {_unparse(node.iter)}"
+        return bool(_ITERATION_HINT.search(header))
+    return False
+
+
+def _block_leaves_loop(block: List[ast.stmt]) -> bool:
+    """A branch ending in raise/return/break/continue is not the
+    steady-state per-iteration path."""
+    return bool(block) and isinstance(
+        block[-1], (ast.Raise, ast.Return, ast.Break, ast.Continue))
+
+
+def _contains(block: List[ast.stmt], node: ast.AST) -> bool:
+    return any(node is child or any(node is sub
+                                    for sub in ast.walk(child))
+               for child in block)
+
+
+@register
+class HotLoopInstrumentationRule(LintRule):
+    """Profiling hooks must not slow the hot path they measure."""
+
+    rule_id = "SOL006"
+    slug = "hot-loop-instrumentation"
+    pack = "solver"
+    default_severity = Severity.WARNING
+    description = ("An instrumentation call inside a per-iteration "
+                   "inner loop (Newton sweeps, time stepping) pays its "
+                   "dict/lock cost every iteration; accumulate locally "
+                   "and flush once outside the loop, or sample.")
+
+    def check(self, ctx: LintContext) -> Iterator[Diagnostic]:
+        code = _code(ctx)
+        if code is None:
+            return
+        for source in code.parsed():
+            if not _in_packages(source, _HOT_PACKAGES):
+                continue
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _instrumentation_name(node)
+                if name is None:
+                    continue
+                loop = self._enclosing_iteration_loop(source, node)
+                if loop is None:
+                    continue
+                yield self.diag(
+                    f"{name}() inside a per-iteration loop (line "
+                    f"{loop.lineno}): the instrumentation cost is paid "
+                    "on every iteration of the hot path it measures",
+                    _loc(source, node.lineno),
+                    hint="accumulate into a local counter and flush "
+                         "once after the loop (profile_add / "
+                         "PhaseFrame.count), or guard the call with a "
+                         "sampling test (e.g. `if i % stride == 0`)")
+
+    @staticmethod
+    def _enclosing_iteration_loop(source, node: ast.Call
+                                  ) -> Optional[ast.AST]:
+        """The iteration loop the call runs per-iteration of, if any.
+
+        Exempt when an enclosing branch (between call and loop) is
+        sampled (``%``/sampling names in the test) or immediately
+        leaves the loop body (ends in raise/return/break/continue —
+        a failure/budget path, not the steady-state iteration).
+        """
+        cursor = node
+        for ancestor in source.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                return None
+            if isinstance(ancestor, ast.If):
+                test = _unparse(ancestor.test)
+                if "%" in test or _SAMPLING_HINT.search(test):
+                    return None
+                for block in (ancestor.body, ancestor.orelse):
+                    if _contains(block, cursor) \
+                            and _block_leaves_loop(block):
+                        return None
+            if _is_iteration_loop(ancestor):
+                return ancestor
+            cursor = ancestor
+        return None

@@ -215,7 +215,10 @@ def lint_code(root: Optional[str] = None, **runner_kwargs) -> LintReport:
 
     code = CodeContext.from_tree(root or default_scan_root())
     ctx = LintContext.from_code(code)
-    runner_kwargs.setdefault("packs", ["code"])
+    # The solver pack rides along for its code-context rules (SOL006
+    # hot-loop instrumentation); its option/stage rules no-op here
+    # because a pure code context carries neither.
+    runner_kwargs.setdefault("packs", ["code", "solver"])
     return LintRunner(**runner_kwargs).run(ctx)
 
 

@@ -30,6 +30,12 @@ from repro.obs.flight import (FlightConfig, FlightRecorder, LedgerEvent,
                               render_report, summarize_ledger)
 from repro.obs.metrics import (CATALOG, Counter, Gauge, Histogram,
                                MetricsRegistry)
+from repro.obs.profile import (PhaseProfiler, ProfileConfig,
+                               configure_profile, disable_profile,
+                               export_speedscope, phase_self_seconds,
+                               profile_add, profile_phase, profiler,
+                               render_profile, summarize_profile,
+                               to_collapsed, to_speedscope)
 from repro.obs.sinks import (JsonlSink, NullSink, Sink, StderrSink,
                              make_sink)
 from repro.obs.trace import (NOOP_SPAN, SpanRecord, Tracer,
@@ -44,6 +50,10 @@ __all__ = [
     "FlightConfig", "FlightRecorder", "LedgerEvent", "flight",
     "configure_flight", "disable_flight", "summarize_ledger",
     "render_report",
+    "ProfileConfig", "PhaseProfiler", "profiler", "configure_profile",
+    "disable_profile", "profile_phase", "profile_add", "to_collapsed",
+    "to_speedscope", "export_speedscope", "summarize_profile",
+    "render_profile", "phase_self_seconds",
 ]
 
 

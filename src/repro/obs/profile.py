@@ -1,0 +1,462 @@
+"""Phase-level cost-attribution profiler.
+
+Where metrics (:mod:`repro.obs.metrics`) count *how much* work a run
+did and the flight recorder (:mod:`repro.obs.flight`) records *what
+happened* inside one solve, the profiler answers *where the wall time
+went*: it attributes self time and operation counts (Newton iterations,
+table evaluations, linalg solves, cache hits) to a stable phase
+taxonomy
+
+    solver phase  ->  region kind  ->  stage class / arc
+
+via explicit instrumentation frames in ``core`` (QWM phases 1-3),
+``linalg``/``matching`` (Sherman-Morrison vs dense LU), ``devices``
+(characterization), ``spice`` (both transient engines), ``analysis``
+(per-arc frames, serial and parallel backends) and ``resilience``
+(escalation rungs).
+
+A frame is a phase label pushed onto a thread-local stack::
+
+    with profile_phase("qwm.region", tag="crossing") as ph:
+        ...
+        ph.count("newton_iterations", region_iterations)
+
+On exit the frame records one **cell** keyed by the full label path
+(``("sta.arc:nand3", "engine.evaluate:nand3", "qwm.phase3",
+"qwm.region:crossing")``) holding exclusive (self) seconds, a call
+count and the accumulated operation counts.  Counts are flushed once
+per frame — never per inner-loop iteration — which is the discipline
+lint rule ``SOL006-hot-loop-instrumentation`` enforces.
+
+Like the flight recorder the profiler is process-wide, disabled by
+default, and every instrumentation point degrades to a single
+attribute check when off.  The cell ledger is deterministic and
+mergeable: per-worker ledgers drained by the process backend are added
+cell-wise (addition over sorted keys commutes), so a process-pool run
+reports operation counts bit-for-bit equal to the serial run.
+
+Exports: :func:`to_collapsed` (Brendan Gregg collapsed stacks),
+:func:`to_speedscope` (speedscope JSON file format),
+:func:`summarize_profile` / :func:`render_profile` (self/cumulative
+tables + hottest cells) and :func:`phase_self_seconds` (the ``phases``
+section embedded into the benchmark artifacts for ``repro
+bench-diff`` attribution).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "ProfileConfig", "PhaseProfiler", "profiler", "configure_profile",
+    "disable_profile", "profile_phase", "profile_add",
+    "to_collapsed", "to_speedscope", "export_speedscope",
+    "summarize_profile", "render_profile", "phase_self_seconds",
+]
+
+#: Ledger format tag (bumped on incompatible cell-shape changes).
+LEDGER_FORMAT = "repro-phase-profile/1"
+
+
+@dataclass
+class ProfileConfig:
+    """Controls for the phase profiler.
+
+    Attributes:
+        enabled: master switch.  When False (the default) every
+            instrumentation frame is a single attribute check.
+        max_cells: cap on distinct (path) cells retained; cells beyond
+            the cap are dropped and counted, so a pathological label
+            cardinality cannot grow the ledger without bound.
+    """
+
+    enabled: bool = False
+    max_cells: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_cells < 1:
+            raise ValueError("max_cells must be >= 1")
+
+
+class _Cell:
+    """Accumulated cost of one phase path."""
+
+    __slots__ = ("self_seconds", "calls", "ops")
+
+    def __init__(self) -> None:
+        self.self_seconds = 0.0
+        self.calls = 0
+        self.ops: Dict[str, float] = {}
+
+
+class _NoopPhase:
+    """Shared do-nothing frame returned when profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopPhase":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+    def count(self, op: str, amount: float = 1.0) -> None:
+        return None
+
+
+NOOP_PHASE = _NoopPhase()
+
+
+class _PhaseFrame:
+    """One live phase frame (context manager)."""
+
+    __slots__ = ("_profiler", "path", "_ops", "_t0", "child_seconds")
+
+    def __init__(self, prof: "PhaseProfiler", path: Tuple[str, ...]):
+        self._profiler = prof
+        self.path = path
+        self._ops: Dict[str, float] = {}
+        self.child_seconds = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_PhaseFrame":
+        self._profiler._push(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        elapsed = time.perf_counter() - self._t0
+        self._profiler._pop(self, elapsed)
+
+    def count(self, op: str, amount: float = 1.0) -> None:
+        """Accumulate an operation count, flushed once at frame exit."""
+        self._ops[op] = self._ops.get(op, 0) + amount
+
+
+class PhaseProfiler:
+    """Thread-safe phase-path ledger with deterministic merging.
+
+    Frames nest per thread (thread-local stacks), so concurrent thread
+    workers attribute correctly without sharing state on the hot path;
+    the ledger itself takes one lock per frame *exit*, never per
+    operation counted.
+    """
+
+    def __init__(self, config: Optional[ProfileConfig] = None):
+        self.config = config or ProfileConfig()
+        #: Fast-path switch (plain attribute, mirrors ``Tracer.enabled``).
+        self.enabled = self.config.enabled
+        self._lock = threading.Lock()
+        self._cells: Dict[Tuple[str, ...], _Cell] = {}
+        self._dropped = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Frame lifecycle
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[_PhaseFrame]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def phase(self, name: str, tag: Optional[str] = None) -> _PhaseFrame:
+        """Open a phase frame (``name:tag`` when a tag is given)."""
+        label = f"{name}:{tag}" if tag else name
+        stack = self._stack()
+        parent = stack[-1].path if stack else ()
+        return _PhaseFrame(self, parent + (label,))
+
+    def _push(self, frame: _PhaseFrame) -> None:
+        self._stack().append(frame)
+
+    def _pop(self, frame: _PhaseFrame, elapsed: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is frame:
+            stack.pop()
+        if stack:
+            stack[-1].child_seconds += elapsed
+        self_seconds = elapsed - frame.child_seconds
+        if self_seconds < 0.0:
+            self_seconds = 0.0
+        self._record(frame.path, self_seconds, 1, frame._ops)
+
+    def add(self, op: str, amount: float = 1.0,
+            root: str = "unattributed") -> None:
+        """Attribute an operation count to the current thread's frame.
+
+        Outside any frame the count lands on the single-element path
+        ``(root,)`` so it is never silently lost.
+        """
+        stack = getattr(self._local, "stack", None)
+        path = stack[-1].path if stack else (root,)
+        self._record(path, 0.0, 0, {op: amount})
+
+    def _record(self, path: Tuple[str, ...], self_seconds: float,
+                calls: int, ops: Dict[str, float]) -> None:
+        with self._lock:
+            cell = self._cells.get(path)
+            if cell is None:
+                if len(self._cells) >= self.config.max_cells:
+                    self._dropped += 1
+                    return
+                cell = self._cells[path] = _Cell()
+            cell.self_seconds += self_seconds
+            cell.calls += calls
+            for op, amount in ops.items():
+                cell.ops[op] = cell.ops.get(op, 0) + amount
+
+    # ------------------------------------------------------------------
+    # Serialization / merging
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """The ledger as a JSON-serializable dict (cells sorted by path)."""
+        with self._lock:
+            cells = [{"path": list(path),
+                      "self_seconds": cell.self_seconds,
+                      "calls": cell.calls,
+                      "ops": {op: cell.ops[op]
+                              for op in sorted(cell.ops)}}
+                     for path, cell in sorted(self._cells.items())]
+            return {"format": LEDGER_FORMAT, "cells": cells,
+                    "dropped_cells": self._dropped}
+
+    def drain(self) -> Dict[str, Any]:
+        """Snapshot the ledger and reset it atomically.
+
+        The process backend drains the worker's ledger after every
+        stage task and ships the delta back with the task payload, so
+        the parent can merge per-task contributions deterministically.
+        """
+        with self._lock:
+            snapshot = {"format": LEDGER_FORMAT,
+                        "cells": [{"path": list(path),
+                                   "self_seconds": cell.self_seconds,
+                                   "calls": cell.calls,
+                                   "ops": {op: cell.ops[op]
+                                           for op in sorted(cell.ops)}}
+                                  for path, cell
+                                  in sorted(self._cells.items())],
+                        "dropped_cells": self._dropped}
+            self._cells = {}
+            self._dropped = 0
+            return snapshot
+
+    def merge(self, payload: Dict[str, Any]) -> None:
+        """Add a serialized ledger into this one (cell-wise addition).
+
+        Addition over sorted keys is commutative and associative, so
+        the merged totals are independent of worker scheduling order —
+        the property the parallel-determinism tests pin down.
+        """
+        for cell in payload.get("cells", ()):
+            self._record(tuple(cell["path"]),
+                         float(cell.get("self_seconds", 0.0)),
+                         int(cell.get("calls", 0)),
+                         cell.get("ops", {}))
+        with self._lock:
+            self._dropped += int(payload.get("dropped_cells", 0))
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"cells": len(self._cells), "dropped": self._dropped}
+
+
+#: The process-wide profiler; disabled until ``configure_profile``.
+_PROFILER = PhaseProfiler(ProfileConfig(enabled=False))
+
+
+def profiler() -> PhaseProfiler:
+    """The current process-wide phase profiler."""
+    return _PROFILER
+
+
+def configure_profile(config: ProfileConfig) -> PhaseProfiler:
+    """Install a fresh profiler for ``config`` and return it."""
+    global _PROFILER
+    _PROFILER = PhaseProfiler(config)
+    return _PROFILER
+
+
+def disable_profile() -> PhaseProfiler:
+    """Restore the default disabled profiler."""
+    return configure_profile(ProfileConfig(enabled=False))
+
+
+# ----------------------------------------------------------------------
+# Hot-path helpers — one attribute check when profiling is disabled.
+# ----------------------------------------------------------------------
+def profile_phase(name: str, tag: Optional[str] = None):
+    """Open a phase frame on the current profiler (no-op when off)."""
+    prof = _PROFILER
+    if not prof.enabled:
+        return NOOP_PHASE
+    return prof.phase(name, tag)
+
+
+def profile_add(op: str, amount: float = 1.0,
+                root: str = "unattributed") -> None:
+    """Attribute an operation count to the current frame (no-op when off)."""
+    prof = _PROFILER
+    if prof.enabled:
+        prof.add(op, amount, root=root)
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+def _ledger_cells(ledger: Any) -> List[Dict[str, Any]]:
+    if isinstance(ledger, PhaseProfiler):
+        ledger = ledger.to_json()
+    return list(ledger.get("cells", ()))
+
+
+def summarize_profile(ledger: Any) -> Dict[str, Any]:
+    """Aggregate a ledger into self/cumulative frame rows + hot cells.
+
+    Per frame label: *self* is the sum of exclusive seconds over every
+    cell whose path ends in that label; *cumulative* sums the exclusive
+    seconds of every cell whose path contains it (each cell counted
+    once).  Accepts a :class:`PhaseProfiler` or a ``to_json`` dict.
+    """
+    cells = _ledger_cells(ledger)
+    self_by_frame: Dict[str, float] = {}
+    cum_by_frame: Dict[str, float] = {}
+    calls_by_frame: Dict[str, int] = {}
+    ops_by_frame: Dict[str, Dict[str, float]] = {}
+    total = 0.0
+    for cell in cells:
+        path = cell["path"]
+        seconds = float(cell.get("self_seconds", 0.0))
+        total += seconds
+        leaf = path[-1]
+        self_by_frame[leaf] = self_by_frame.get(leaf, 0.0) + seconds
+        calls_by_frame[leaf] = (calls_by_frame.get(leaf, 0)
+                                + int(cell.get("calls", 0)))
+        ops = ops_by_frame.setdefault(leaf, {})
+        for op, amount in cell.get("ops", {}).items():
+            ops[op] = ops.get(op, 0) + amount
+        for frame in dict.fromkeys(path):
+            cum_by_frame[frame] = cum_by_frame.get(frame, 0.0) + seconds
+    frames = [{"frame": frame,
+               "self_seconds": self_by_frame.get(frame, 0.0),
+               "cum_seconds": cum_by_frame[frame],
+               "calls": calls_by_frame.get(frame, 0),
+               "ops": {op: ops_by_frame.get(frame, {})[op]
+                       for op in sorted(ops_by_frame.get(frame, {}))}}
+              for frame in sorted(cum_by_frame)]
+    frames.sort(key=lambda row: (-row["self_seconds"], row["frame"]))
+    hot = sorted(cells, key=lambda c: (-float(c.get("self_seconds", 0.0)),
+                                       tuple(c["path"])))
+    return {"total_seconds": total, "frames": frames, "cells": hot,
+            "dropped_cells": int(
+                ledger.get("dropped_cells", 0)
+                if isinstance(ledger, dict) else 0)}
+
+
+def phase_self_seconds(ledger: Any) -> Dict[str, float]:
+    """Frame label -> exclusive seconds (the bench ``phases`` section)."""
+    summary = summarize_profile(ledger)
+    return {row["frame"]: row["self_seconds"]
+            for row in summary["frames"] if row["calls"] > 0
+            or row["self_seconds"] > 0.0 or row["ops"]}
+
+
+def render_profile(summary: Dict[str, Any], top: int = 10) -> str:
+    """Render :func:`summarize_profile` output as a text report."""
+    lines = ["phase profile", "============="]
+    total = summary["total_seconds"]
+    lines.append(f"total attributed: {total * 1e3:.3f} ms")
+    lines.append("")
+    lines.append(f"{'phase':<42} {'self':>10} {'cum':>10} {'calls':>8}")
+    lines.append("-" * 72)
+    for row in summary["frames"]:
+        lines.append(
+            f"{row['frame']:<42} {row['self_seconds'] * 1e3:>8.3f}ms "
+            f"{row['cum_seconds'] * 1e3:>8.3f}ms {row['calls']:>8}")
+        for op, amount in row["ops"].items():
+            lines.append(f"{'':<42}   {op} = {amount:g}")
+    lines.append("")
+    lines.append(f"hottest cells (top {top})")
+    lines.append("-" * 72)
+    shown = summary["cells"][:top]
+    if not shown:
+        lines.append("  (no cells recorded)")
+    for cell in shown:
+        path = "/".join(cell["path"])
+        lines.append(f"  {float(cell['self_seconds']) * 1e3:>8.3f}ms  "
+                     f"{path}")
+    if summary.get("dropped_cells"):
+        lines.append(f"  ... {summary['dropped_cells']} cell(s) dropped "
+                     "(max_cells cap)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Flame-graph exports
+# ----------------------------------------------------------------------
+def to_collapsed(ledger: Any) -> str:
+    """Collapsed-stack format (``a;b;c <microseconds>`` per line).
+
+    Feed to any Brendan Gregg-style flamegraph tool; weights are
+    integer microseconds of exclusive time.
+    """
+    lines = []
+    for cell in _ledger_cells(ledger):
+        micros = int(round(float(cell.get("self_seconds", 0.0)) * 1e6))
+        lines.append(";".join(cell["path"]) + f" {micros}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_speedscope(ledger: Any, name: str = "repro phase profile"
+                  ) -> Dict[str, Any]:
+    """The ledger as a speedscope JSON document (sampled profile).
+
+    Each cell becomes one sample whose stack is the phase path and
+    whose weight is the cell's exclusive seconds; open the file at
+    https://www.speedscope.app or with ``speedscope <file>``.
+    """
+    cells = _ledger_cells(ledger)
+    frame_index: Dict[str, int] = {}
+    frames: List[Dict[str, str]] = []
+    samples: List[List[int]] = []
+    weights: List[float] = []
+    for cell in cells:
+        stack = []
+        for label in cell["path"]:
+            if label not in frame_index:
+                frame_index[label] = len(frames)
+                frames.append({"name": label})
+            stack.append(frame_index[label])
+        samples.append(stack)
+        weights.append(float(cell.get("self_seconds", 0.0)))
+    total = sum(weights)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "name": name,
+        "exporter": "repro.obs.profile",
+        "activeProfileIndex": 0,
+        "shared": {"frames": frames},
+        "profiles": [{
+            "type": "sampled",
+            "name": name,
+            "unit": "seconds",
+            "startValue": 0,
+            "endValue": total,
+            "samples": samples,
+            "weights": weights,
+        }],
+    }
+
+
+def export_speedscope(ledger: Any, path: str,
+                      name: str = "repro phase profile") -> str:
+    """Write :func:`to_speedscope` output to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_speedscope(ledger, name=name), handle, indent=1)
+        handle.write("\n")
+    return path

@@ -346,14 +346,14 @@ def test_cli_code_json_and_sarif(tmp_path, capsys):
     assert code == 0
     assert data["schema_version"] == 2
     assert data["diagnostics"] == []
-    assert data["baseline"]["suppressed"] == 4
+    assert data["baseline"]["suppressed"] == 5
     assert data["baseline"]["stale"] == 0
 
     sarif = json.loads(sarif_path.read_text())
     assert sarif["version"] == "2.1.0"
     (run,) = sarif["runs"]
-    # The four baselined findings are present but marked suppressed.
-    assert len(run["results"]) == 4
+    # The five baselined findings are present but marked suppressed.
+    assert len(run["results"]) == 5
     assert all(r["suppressions"][0]["kind"] == "external"
                for r in run["results"])
 

@@ -247,3 +247,153 @@ class TestFlightLedgerBudget:
         report = solver_report(self._parallel_ctx())
         assert not any(d.rule == "SOL005-flight-ledger-budget"
                        for d in report)
+
+
+# ---------------------------------------------------------------------------
+# SOL006 — instrumentation in per-iteration inner loops
+# ---------------------------------------------------------------------------
+def sol006_report(sources):
+    """Lint synthetic sources with the solver pack's code rule."""
+    from repro.lint import CodeContext
+
+    code = CodeContext.from_sources(sources)
+    return LintRunner(packs=("solver",)).run(LintContext.from_code(code))
+
+
+def sol006_hits(report):
+    return [d for d in report
+            if d.rule == "SOL006-hot-loop-instrumentation"]
+
+
+class TestSol006HotLoopInstrumentation:
+    def test_flags_counter_in_while_loop(self):
+        report = sol006_report({"core/hotloop.py": (
+            "from repro.obs import inc\n"
+            "def solve(max_iterations):\n"
+            "    it = 0\n"
+            "    while it < max_iterations:\n"
+            "        inc('newton.iterations')\n"
+            "        it += 1\n"
+        )})
+        (diag,) = sol006_hits(report)
+        assert diag.location.container == "core/hotloop.py"
+        assert "inc()" in diag.message
+        assert "accumulate" in diag.hint
+
+    def test_flags_profile_add_in_iteration_for_loop(self):
+        report = sol006_report({"core/sweep.py": (
+            "from repro.obs.profile import profile_add\n"
+            "def run(max_iterations):\n"
+            "    for i in range(max_iterations):\n"
+            "        profile_add('newton_iterations')\n"
+        )})
+        assert len(sol006_hits(report)) == 1
+
+    def test_sampling_guard_is_exempt(self):
+        report = sol006_report({"core/sweep.py": (
+            "from repro.obs import inc\n"
+            "def run(max_iterations):\n"
+            "    for i in range(max_iterations):\n"
+            "        if i % 64 == 0:\n"
+            "            inc('newton.iterations', 64)\n"
+        )})
+        assert sol006_hits(report) == []
+
+    def test_failure_branch_ending_in_raise_is_exempt(self):
+        report = sol006_report({"spice/stepper.py": (
+            "from repro.obs import inc\n"
+            "def run(max_steps, budget, residual):\n"
+            "    step = 0\n"
+            "    while step < max_steps:\n"
+            "        step += 1\n"
+            "        if residual > budget:\n"
+            "            inc('spice.budget.exceeded')\n"
+            "            raise ValueError('budget exceeded')\n"
+        )})
+        assert sol006_hits(report) == []
+
+    def test_branch_ending_in_break_is_exempt(self):
+        report = sol006_report({"core/hotloop.py": (
+            "from repro.obs import inc\n"
+            "def run(done, max_iterations):\n"
+            "    it = 0\n"
+            "    while it < max_iterations:\n"
+            "        it += 1\n"
+            "        if done:\n"
+            "            inc('qwm.regions.solved')\n"
+            "            break\n"
+        )})
+        assert sol006_hits(report) == []
+
+    def test_flush_after_loop_is_exempt(self):
+        report = sol006_report({"core/hotloop.py": (
+            "from repro.obs import inc\n"
+            "def run(max_iterations):\n"
+            "    count = 0\n"
+            "    for i in range(max_iterations):\n"
+            "        count += 1\n"
+            "    inc('newton.iterations', count)\n"
+        )})
+        assert sol006_hits(report) == []
+
+    def test_non_hot_package_is_exempt(self):
+        report = sol006_report({"analysis/driver.py": (
+            "from repro.obs import inc\n"
+            "def run(max_iterations):\n"
+            "    it = 0\n"
+            "    while it < max_iterations:\n"
+            "        inc('sta.stage.solves')\n"
+            "        it += 1\n"
+        )})
+        assert sol006_hits(report) == []
+
+    def test_non_iteration_for_loop_is_exempt(self):
+        # A bounded structural loop (over scales, devices, pieces) is
+        # not the per-iteration hot path the rule targets.
+        report = sol006_report({"core/hotloop.py": (
+            "from repro.obs import inc\n"
+            "def run(scales):\n"
+            "    for scale in scales:\n"
+            "        inc('qwm.region.attempts')\n"
+        )})
+        assert sol006_hits(report) == []
+
+    def test_attribute_record_flagged_but_bare_record_is_not(self):
+        # `recorder.record(...)` is a flight-recorder sink; a *bare*
+        # `record(...)` is whatever local closure the solver defined
+        # (qwm.py names its waveform-piece writer `record`).
+        report = sol006_report({"core/rec.py": (
+            "def run(recorder, record, max_iterations):\n"
+            "    for i in range(max_iterations):\n"
+            "        recorder.record('piece')\n"
+            "        record(1.0)\n"
+        )})
+        hits = sol006_hits(report)
+        assert len(hits) == 1
+        assert "record()" in hits[0].message
+
+    def test_nested_function_is_a_boundary(self):
+        report = sol006_report({"core/hotloop.py": (
+            "from repro.obs import inc\n"
+            "def run(max_iterations):\n"
+            "    for i in range(max_iterations):\n"
+            "        def on_failure():\n"
+            "            inc('newton.convergence.failures')\n"
+        )})
+        assert sol006_hits(report) == []
+
+    def test_repo_tree_findings_are_baselined(self):
+        # The real tree must carry no SOL006 findings beyond the ones
+        # justified in .lint-baseline.json (enforced end-to-end by the
+        # `repro lint --code` gate in CI).
+        import os
+
+        from repro.lint import Baseline, discover_baseline, lint_code
+
+        repo_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))
+        report = lint_code()
+        path = discover_baseline(repo_root)
+        assert path is not None
+        result = Baseline.load(path).apply(report)
+        assert not sol006_hits(result.report)

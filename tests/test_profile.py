@@ -1,0 +1,506 @@
+"""Phase-level cost-attribution profiler (``repro.obs.profile``).
+
+Pins down the ledger arithmetic (self vs cumulative time, op
+accumulation, merge commutativity), the disabled-mode overhead budget,
+the parallel-backend merge contract (process workers agree with the
+serial engine bit-for-bit on every operation count), the speedscope /
+collapsed-stack exports, and the CLI surfaces (``repro profile``,
+``repro stats`` resilience section, ``repro bench-diff`` phase
+attribution).
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.analysis import StaticTimingAnalyzer
+from repro.analysis.parallel import ExecutionConfig
+from repro.circuit import builders, extract_stages
+from repro.cli import main
+from repro.obs.profile import (
+    LEDGER_FORMAT,
+    NOOP_PHASE,
+    PhaseProfiler,
+    ProfileConfig,
+    configure_profile,
+    disable_profile,
+    export_speedscope,
+    phase_self_seconds,
+    profile_add,
+    profile_phase,
+    profiler,
+    render_profile,
+    summarize_profile,
+    to_collapsed,
+    to_speedscope,
+)
+from repro.spice import ConstantSource, StepSource
+
+
+@pytest.fixture(autouse=True)
+def _profiler_off():
+    """Every test starts and ends with the module profiler disabled."""
+    disable_profile()
+    yield
+    disable_profile()
+
+
+def _cells_by_path(ledger):
+    return {tuple(cell["path"]): cell for cell in ledger["cells"]}
+
+
+# ----------------------------------------------------------------------
+# Ledger arithmetic
+# ----------------------------------------------------------------------
+class TestLedger:
+    def test_nesting_splits_self_and_cumulative(self):
+        prof = PhaseProfiler(ProfileConfig(enabled=True))
+        with prof.phase("outer"):
+            time.sleep(0.002)
+            with prof.phase("inner"):
+                time.sleep(0.005)
+        cells = _cells_by_path(prof.to_json())
+        outer = cells[("outer",)]
+        inner = cells[("outer", "inner")]
+        assert outer["calls"] == 1 and inner["calls"] == 1
+        # The child's wall time is excluded from the parent's self time.
+        assert inner["self_seconds"] >= 0.004
+        assert outer["self_seconds"] < inner["self_seconds"]
+        summary = summarize_profile(prof.to_json())
+        frames = {f["frame"]: f for f in summary["frames"]}
+        outer_cum = frames["outer"]["cum_seconds"]
+        inner_cum = frames["inner"]["cum_seconds"]
+        assert outer_cum >= inner_cum
+        assert outer_cum == pytest.approx(
+            outer["self_seconds"] + inner["self_seconds"])
+
+    def test_tag_joins_into_frame_label(self):
+        prof = PhaseProfiler(ProfileConfig(enabled=True))
+        with prof.phase("qwm.phase3", tag="crossing"):
+            pass
+        assert ("qwm.phase3:crossing",) in _cells_by_path(prof.to_json())
+
+    def test_ops_accumulate_within_a_frame(self):
+        prof = PhaseProfiler(ProfileConfig(enabled=True))
+        with prof.phase("solve") as frame:
+            frame.count("newton_iterations", 3)
+            frame.count("newton_iterations", 2)
+            frame.count("regions")
+        ops = _cells_by_path(prof.to_json())[("solve",)]["ops"]
+        assert ops == {"newton_iterations": 5, "regions": 1}
+
+    def test_add_attributes_to_current_frame_or_root(self):
+        prof = PhaseProfiler(ProfileConfig(enabled=True))
+        with prof.phase("outer"):
+            prof.add("solves", 2)
+        prof.add("cache_hits", root="sta.cache")
+        cells = _cells_by_path(prof.to_json())
+        assert cells[("outer",)]["ops"] == {"solves": 2}
+        assert cells[("sta.cache",)]["ops"] == {"cache_hits": 1}
+
+    def test_merge_is_commutative(self):
+        def payload(n):
+            prof = PhaseProfiler(ProfileConfig(enabled=True))
+            with prof.phase("a") as frame:
+                frame.count("x", n)
+                with prof.phase("b"):
+                    prof.add("y", n)
+            return prof.drain()
+
+        one, two = payload(1), payload(2)
+        ab = PhaseProfiler(ProfileConfig(enabled=True))
+        ba = PhaseProfiler(ProfileConfig(enabled=True))
+        ab.merge(one), ab.merge(two)
+        ba.merge(two), ba.merge(one)
+        assert ab.to_json() == ba.to_json()
+        merged = _cells_by_path(ab.to_json())
+        assert merged[("a",)]["ops"] == {"x": 3}
+        assert merged[("a", "b")]["ops"] == {"y": 3}
+        assert merged[("a",)]["calls"] == 2
+
+    def test_drain_snapshots_and_resets(self):
+        prof = PhaseProfiler(ProfileConfig(enabled=True))
+        with prof.phase("a"):
+            pass
+        first = prof.drain()
+        assert first["format"] == LEDGER_FORMAT
+        assert len(first["cells"]) == 1
+        assert prof.stats() == {"cells": 0, "dropped": 0}
+        assert prof.drain()["cells"] == []
+
+    def test_max_cells_cap_counts_drops(self):
+        prof = PhaseProfiler(ProfileConfig(enabled=True, max_cells=2))
+        for root in ("a", "b", "c", "d"):
+            prof.add("x", root=root)
+        stats = prof.stats()
+        assert stats["cells"] == 2
+        assert stats["dropped"] == 2
+        assert prof.to_json()["dropped_cells"] == 2
+
+    def test_disabled_helpers_are_noops(self):
+        assert not profiler().enabled
+        assert profile_phase("x", tag="y") is NOOP_PHASE
+        with profile_phase("x") as frame:
+            frame.count("op")
+        profile_add("op")
+        assert profiler().stats() == {"cells": 0, "dropped": 0}
+
+
+# ----------------------------------------------------------------------
+# Overhead budget: <1% of a solve with the profiler off.
+# ----------------------------------------------------------------------
+def _nand3_sources(tech):
+    sources = {"a0": StepSource(0.0, tech.vdd, 0.0)}
+    for name in ("a1", "a2"):
+        sources[name] = ConstantSource(tech.vdd)
+    return sources
+
+
+def test_disabled_overhead_under_one_percent(tech, evaluator):
+    """Disabled profiler hooks cost < 1% of a NAND3 solve.
+
+    Same arithmetic-budget style as the telemetry overhead test:
+    (per-call cost of the disabled helpers) x (a generous over-estimate
+    of hook sites per solve) against the solve's own wall time.
+    """
+    n_calls = 20000
+    start = time.perf_counter()
+    for _ in range(n_calls):
+        with profile_phase("x", tag="y"):
+            pass
+        profile_add("op")
+    per_op = (time.perf_counter() - start) / n_calls
+
+    stage = builders.nand_gate(tech, 3)
+    solution = evaluator.evaluate(stage, output="out",
+                                  direction="fall",
+                                  inputs=_nand3_sources(tech))
+    stats = solution.stats
+    # Hook sites per solve: one phase frame + ~4 counts per region,
+    # one add per Newton iteration, a fixed handful elsewhere — then
+    # doubled for margin.
+    ops = 2 * (5 * stats.steps + stats.newton_iterations + 20)
+    overhead = ops * per_op
+    assert overhead < 0.01 * stats.wall_time + 1e-4, (
+        f"disabled profiler overhead {overhead * 1e6:.1f}us vs "
+        f"solve {stats.wall_time * 1e6:.1f}us")
+
+
+# ----------------------------------------------------------------------
+# Parallel-backend merging: workers change scheduling, never the counts.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def decoder_graph(tech):
+    return extract_stages(builders.decoder_netlist(tech, bits=2),
+                          tech=tech)
+
+
+def _profiled_op_totals(tech, library, graph, backend, workers):
+    """Operation counts per frame path for one profiled analysis.
+
+    Device characterization subtrees are excluded: process workers
+    re-characterize in their own address space while the warm serial
+    library never does, so those frames differ by construction. Every
+    solver-side count must still agree bit-for-bit.
+    """
+    configure_profile(ProfileConfig(enabled=True))
+    try:
+        analyzer = StaticTimingAnalyzer(
+            tech, library=library,
+            execution=ExecutionConfig(workers=workers, backend=backend))
+        analyzer.analyze(graph)
+        ledger = profiler().drain()
+    finally:
+        disable_profile()
+    totals = {}
+    for cell in ledger["cells"]:
+        path = tuple(cell["path"])
+        if any(label.startswith("device.characterize")
+               for label in path):
+            continue
+        for op, amount in cell["ops"].items():
+            totals[path + (op,)] = totals.get(path + (op,), 0) + amount
+    return totals
+
+
+def test_thread_backend_counts_match_serial(tech, library,
+                                            decoder_graph):
+    """Thread workers merge into the same solver counts as serial.
+
+    ``table_evaluations`` is excluded here: threads share the library's
+    table objects, so the per-solve query meter attributes a query to
+    whichever concurrent solve drains the shared counter first.  The
+    totals the solver controls directly (regions, Newton iterations,
+    linear solves, ...) must still agree exactly; the process backend
+    test below covers every op including table queries because each
+    worker owns its tables.
+    """
+    def solver_ops(totals):
+        return {key: amount for key, amount in totals.items()
+                if key[-1] != "table_evaluations"}
+
+    serial = _profiled_op_totals(tech, library, decoder_graph,
+                                 "serial", 1)
+    threaded = _profiled_op_totals(tech, library, decoder_graph,
+                                   "thread", 2)
+    assert serial
+    assert solver_ops(threaded) == solver_ops(serial)
+
+
+@pytest.mark.slow
+def test_process_backend_counts_match_serial_and_repeat(
+        tech, library, decoder_graph):
+    """Process-pool ledgers merge to the serial counts, repeatably.
+
+    Workers drain their ledger per task and ship the delta with the
+    payload; commutative cell-wise merging makes the parent's totals
+    independent of worker scheduling — so two process runs and a serial
+    run must agree on every operation count exactly.
+    """
+    serial = _profiled_op_totals(tech, library, decoder_graph,
+                                 "serial", 1)
+    first = _profiled_op_totals(tech, library, decoder_graph,
+                                "process", 2)
+    second = _profiled_op_totals(tech, library, decoder_graph,
+                                 "process", 2)
+    assert serial, "serial run recorded no profiled operations"
+    assert any(path[-1] == "newton_iterations" for path in serial)
+    assert first == serial
+    assert second == first
+
+
+# ----------------------------------------------------------------------
+# Exports: collapsed stacks and speedscope JSON.
+# ----------------------------------------------------------------------
+#: Minimal structural schema for speedscope's file format (the subset
+#: the exporter emits); validated with jsonschema when available and
+#: by hand below either way.
+SPEEDSCOPE_SCHEMA = {
+    "type": "object",
+    "required": ["$schema", "shared", "profiles"],
+    "properties": {
+        "$schema": {
+            "const": "https://www.speedscope.app/file-format-schema.json"},
+        "shared": {
+            "type": "object",
+            "required": ["frames"],
+            "properties": {
+                "frames": {
+                    "type": "array",
+                    "items": {"type": "object",
+                              "required": ["name"],
+                              "properties": {"name": {"type": "string"}}},
+                },
+            },
+        },
+        "profiles": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["type", "name", "unit", "startValue",
+                             "endValue", "samples", "weights"],
+                "properties": {
+                    "type": {"const": "sampled"},
+                    "unit": {"const": "seconds"},
+                    "samples": {"type": "array",
+                                "items": {"type": "array",
+                                          "items": {"type": "integer"}}},
+                    "weights": {"type": "array",
+                                "items": {"type": "number"}},
+                },
+            },
+        },
+        "activeProfileIndex": {"type": "integer"},
+        "exporter": {"type": "string"},
+    },
+}
+
+
+def _sample_ledger():
+    prof = PhaseProfiler(ProfileConfig(enabled=True))
+    with prof.phase("sta.arc", tag="nand2"):
+        with prof.phase("engine.evaluate", tag="nand2") as frame:
+            frame.count("regions", 4)
+            time.sleep(0.002)
+        time.sleep(0.001)
+    return prof.to_json()
+
+
+class TestExports:
+    def test_speedscope_structure(self):
+        doc = to_speedscope(_sample_ledger(), name="unit")
+        frames = doc["shared"]["frames"]
+        profile = doc["profiles"][0]
+        assert doc["$schema"] == (
+            "https://www.speedscope.app/file-format-schema.json")
+        assert doc["activeProfileIndex"] == 0
+        assert doc["exporter"] == "repro.obs.profile"
+        assert all(isinstance(f["name"], str) for f in frames)
+        assert profile["type"] == "sampled"
+        assert profile["unit"] == "seconds"
+        assert profile["startValue"] == 0
+        assert len(profile["samples"]) == len(profile["weights"])
+        assert len(profile["samples"]) > 0
+        for stack in profile["samples"]:
+            assert stack, "empty sample stack"
+            assert all(0 <= idx < len(frames) for idx in stack)
+        assert profile["endValue"] == pytest.approx(
+            sum(profile["weights"]))
+        assert all(w >= 0 for w in profile["weights"])
+
+    def test_speedscope_validates_against_schema(self):
+        jsonschema = pytest.importorskip("jsonschema")
+        jsonschema.validate(to_speedscope(_sample_ledger()),
+                            SPEEDSCOPE_SCHEMA)
+
+    def test_export_speedscope_round_trip(self, tmp_path):
+        path = tmp_path / "profile.speedscope.json"
+        export_speedscope(_sample_ledger(), str(path), name="unit")
+        doc = json.loads(path.read_text())
+        assert doc["profiles"][0]["name"] == "unit"
+        stacks = {tuple(frame["name"] for frame in
+                        (doc["shared"]["frames"][i] for i in stack))
+                  for stack in doc["profiles"][0]["samples"]}
+        assert ("sta.arc:nand2", "engine.evaluate:nand2") in stacks
+
+    def test_collapsed_stacks_format(self):
+        text = to_collapsed(_sample_ledger())
+        lines = text.strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, weight = line.rpartition(" ")
+            assert stack and int(weight) >= 0
+        assert any(line.startswith("sta.arc:nand2;engine.evaluate:nand2 ")
+                   for line in lines)
+
+    def test_summary_render_and_self_seconds(self):
+        ledger = _sample_ledger()
+        summary = summarize_profile(ledger)
+        text = render_profile(summary, top=5)
+        assert "engine.evaluate:nand2" in text
+        self_times = phase_self_seconds(ledger)
+        assert set(self_times) == {
+            "sta.arc:nand2", "engine.evaluate:nand2"}
+        assert summary["total_seconds"] == pytest.approx(
+            sum(self_times.values()))
+
+
+# ----------------------------------------------------------------------
+# CLI surfaces.
+# ----------------------------------------------------------------------
+INV_DECK = """
+Mp out a VDD VDD pmos W=2u L=0.35u
+Mn out a 0 0 nmos W=1u L=0.35u
+Cout out 0 5f
+.input a
+.output out
+"""
+
+
+class TestCli:
+    def test_profile_circuit_json_and_exports(self, tmp_path, capsys):
+        scope = tmp_path / "prof.speedscope.json"
+        collapsed = tmp_path / "prof.collapsed"
+        code = main(["profile", "--circuit", "inverter",
+                     "--grid-step", "0.4", "--json",
+                     "--speedscope", str(scope),
+                     "--collapsed", str(collapsed)])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ledger"]["format"] == LEDGER_FORMAT
+        frames = [f["frame"] for f in doc["summary"]["frames"]]
+        assert any("engine.evaluate" in frame for frame in frames)
+        assert any("qwm.phase" in frame for frame in frames)
+        assert json.loads(scope.read_text())["profiles"]
+        assert collapsed.read_text().strip()
+        # The subcommand owns its profiler lifecycle: off afterwards.
+        assert not profiler().enabled
+
+    def test_profile_text_report(self, capsys):
+        code = main(["profile", "--circuit", "inverter",
+                     "--grid-step", "0.4", "--top", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload: inverter" in out
+        assert "self" in out and "engine.evaluate:inv" in out
+
+    def test_global_profile_flag_writes_speedscope(self, tmp_path,
+                                                   capsys):
+        deck = tmp_path / "inv.sp"
+        deck.write_text(INV_DECK)
+        scope = tmp_path / "run.speedscope.json"
+        code = main(["--profile", str(scope), "stats", str(deck),
+                     "--grid-step", "0.4"])
+        assert code == 0
+        capsys.readouterr()
+        doc = json.loads(scope.read_text())
+        assert doc["profiles"][0]["samples"]
+        assert not profiler().enabled
+
+    def test_stats_reports_resilience_ladder(self, tmp_path, capsys):
+        from repro.resilience.ladder import QUALITY_ORDER
+
+        deck = tmp_path / "inv.sp"
+        deck.write_text(INV_DECK)
+        assert main(["stats", str(deck), "--grid-step", "0.4"]) == 0
+        assert "ladder escalations" in capsys.readouterr().out
+        assert main(["stats", str(deck), "--grid-step", "0.4",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc["resilience"]["escalations"]) == set(QUALITY_ORDER)
+        assert set(doc["resilience"]["arc_quality"]) == set(QUALITY_ORDER)
+
+
+class TestBenchDiffAttribution:
+    def _history(self, tmp_path, prev_phases, last_phases,
+                 prev_seconds=1.0, last_seconds=1.5):
+        entries = [
+            {"run": "headline", "git_sha": "a" * 12, "smoke": False,
+             "metrics": {"qwm_total_seconds": prev_seconds,
+                         "accuracy_percent": 99.0},
+             "phases": prev_phases},
+            {"run": "headline", "git_sha": "b" * 12, "smoke": False,
+             "metrics": {"qwm_total_seconds": last_seconds,
+                         "accuracy_percent": 99.0},
+             "phases": last_phases},
+        ]
+        path = tmp_path / "BENCH_history.jsonl"
+        path.write_text("".join(json.dumps(e) + "\n" for e in entries))
+        return str(path)
+
+    def test_regression_names_responsible_phase(self, tmp_path, capsys):
+        history = self._history(
+            tmp_path,
+            {"qwm.phase3:newton": 0.50, "spice.transient:nand2": 0.30},
+            {"qwm.phase3:newton": 0.92, "spice.transient:nand2": 0.31})
+        code = main(["bench-diff", "--history", history])
+        out = capsys.readouterr().out
+        assert code == 1, "a +50% time regression must fail the diff"
+        assert ("regression attributed to: qwm.phase3:newton, "
+                "+84% self-time") in out
+        assert ("phase attribution: largest self-time growth in "
+                "qwm.phase3:newton (+84%)") in out
+
+    def test_no_attribution_without_phases(self, tmp_path, capsys):
+        history = self._history(tmp_path, {}, {})
+        code = main(["bench-diff", "--history", history])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "attributed to" not in out
+        assert "phase attribution" not in out
+
+    def test_clean_run_still_reports_attribution(self, tmp_path,
+                                                 capsys):
+        history = self._history(
+            tmp_path,
+            {"qwm.phase12:crossing": 0.40},
+            {"qwm.phase12:crossing": 0.41},
+            prev_seconds=1.0, last_seconds=1.0)
+        code = main(["bench-diff", "--history", history])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no regressions beyond the band" in out
+        assert ("phase attribution: largest self-time growth in "
+                "qwm.phase12:crossing (+2%)") in out
