@@ -16,7 +16,11 @@ skip the aggregate assertions (the CI smoke configuration).  Set
 ``BENCH_PROFILE=1`` to additionally run under the phase profiler: the
 artifact and the history entry then carry a ``phases`` self-time
 section (the ``repro bench-diff`` attribution input) and a speedscope
-flame-graph artifact is written next to the metrics dump.
+flame-graph artifact is written next to the metrics dump.  Set
+``BENCH_ACCURACY=1`` to embed the per-circuit error section into the
+artifact and append the errors to the accuracy history ledger
+(``benchmarks/results/ACCURACY_history.jsonl``, the ``repro
+accuracy-diff`` input).
 """
 
 import os
@@ -26,6 +30,7 @@ import numpy as np
 import pytest
 
 from benchmarks.harness import (
+    append_accuracy_history,
     append_history,
     compare_engines,
     evaluate_qwm,
@@ -51,6 +56,7 @@ from repro.resilience.ladder import QUALITY_ORDER
 
 SMOKE = bool(os.environ.get("BENCH_SMOKE"))
 PROFILE = bool(os.environ.get("BENCH_PROFILE"))
+ACCURACY = bool(os.environ.get("BENCH_ACCURACY"))
 
 
 def _mix(tech):
@@ -110,7 +116,23 @@ def test_headline_aggregate(benchmark, tech, evaluator):
                 inc("resilience.escalations", 0, rung=quality)
         phases = (phase_self_seconds(profiler().to_json())
                   if profiler().enabled else None)
-        save_metrics("BENCH_headline.json", phases=phases)
+        # BENCH_ACCURACY=1: embed the per-circuit error section into
+        # the metrics artifact and feed the accuracy history ledger
+        # (the same errors the aggregate gauges summarize — the live
+        # QWM-vs-1ps-SPICE comparison, not a separate solve).
+        accuracy = None
+        if ACCURACY:
+            accuracy = {
+                "errors_pct": {r.name: r.error_percent for r in rows},
+                "mean_error_pct": report.average_error_percent,
+                "worst_error_pct": report.worst_error_percent,
+                "accuracy_percent": report.accuracy_percent,
+            }
+            append_accuracy_history("bench-headline", {
+                r.name: {"delay_error_pct": r.error_percent}
+                for r in rows})
+        save_metrics("BENCH_headline.json", phases=phases,
+                     accuracy=accuracy)
         append_history("headline", {
             "mean_speedup_1ps": mean_speedup,
             "accuracy_percent": report.accuracy_percent,

@@ -39,6 +39,12 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 #: last two entries and flags >10 % regressions.
 HISTORY_FILE = os.path.join(RESULTS_DIR, "BENCH_history.jsonl")
 
+#: The accuracy analogue: per-case delay errors from the golden suite,
+#: shadow-SPICE audits and the ``BENCH_ACCURACY=1`` bench section.
+#: ``repro accuracy-diff`` compares the last two entries per run.
+ACCURACY_HISTORY_FILE = os.path.join(RESULTS_DIR,
+                                     "ACCURACY_history.jsonl")
+
 
 @dataclass
 class ExperimentRow:
@@ -181,7 +187,8 @@ def save_result(filename: str, content: str) -> str:
 
 
 def save_metrics(filename: str,
-                 phases: Optional[Dict[str, float]] = None) -> str:
+                 phases: Optional[Dict[str, float]] = None,
+                 accuracy: Optional[Dict] = None) -> str:
     """Dump the current metrics registry under benchmarks/results/.
 
     The CI bench job uploads these dumps (``BENCH_headline.json``) as
@@ -189,16 +196,22 @@ def save_metrics(filename: str,
     the run profiled itself, ``phases`` (frame label -> exclusive
     seconds, see :func:`repro.obs.profile.phase_self_seconds`) is
     embedded as a top-level ``phases`` section so the artifact carries
-    the cost attribution alongside the counters.
+    the cost attribution alongside the counters; ``accuracy`` (the
+    ``BENCH_ACCURACY=1`` per-circuit error section) embeds the same
+    way.
     """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, filename)
     telemetry().export_metrics(path)
-    if phases:
+    if phases or accuracy:
         with open(path) as handle:
             document = json.load(handle)
-        document["phases"] = {name: float(value)
-                              for name, value in sorted(phases.items())}
+        if phases:
+            document["phases"] = {
+                name: float(value)
+                for name, value in sorted(phases.items())}
+        if accuracy:
+            document["accuracy"] = accuracy
         with open(path, "w") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -261,6 +274,20 @@ def append_history(run: str, metrics: Dict[str, float],
     with open(path, "a") as handle:
         handle.write(json.dumps(entry, sort_keys=True) + "\n")
     return path
+
+
+def append_accuracy_history(run: str, cases: Dict[str, Dict],
+                            path: Optional[str] = None) -> str:
+    """Append one entry to the accuracy history ledger.
+
+    Thin wrapper over :func:`repro.obs.accuracy.history_entry` /
+    ``append_history_entry`` that fills in the git SHA and the default
+    ledger path, mirroring :func:`append_history` for the bench side.
+    """
+    from repro.obs.accuracy import append_history_entry, history_entry
+
+    entry = history_entry(run, cases, git_sha=_git_sha())
+    return append_history_entry(entry, path or ACCURACY_HISTORY_FILE)
 
 
 def load_history(path: Optional[str] = None) -> List[Dict]:

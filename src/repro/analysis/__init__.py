@@ -13,9 +13,18 @@ from repro.analysis.delay import (
 )
 from repro.analysis.accuracy import (
     AccuracyReport,
+    ComparisonOutcome,
     accuracy_percent,
     compare_delays,
     waveform_rms_error,
+)
+from repro.analysis.audit import (
+    ArcSample,
+    AuditReport,
+    analyze_with_audit,
+    audit_arc,
+    collect_candidates,
+    stratified_sample,
 )
 from repro.analysis.sta import (
     ArrivalTime,
@@ -54,9 +63,16 @@ __all__ = [
     "measure_delay",
     "measure_slew",
     "AccuracyReport",
+    "ComparisonOutcome",
     "accuracy_percent",
     "compare_delays",
     "waveform_rms_error",
+    "ArcSample",
+    "AuditReport",
+    "analyze_with_audit",
+    "audit_arc",
+    "collect_candidates",
+    "stratified_sample",
     "ArrivalTime",
     "StaticTimingAnalyzer",
     "StaResult",

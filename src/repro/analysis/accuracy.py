@@ -44,24 +44,75 @@ class AccuracyReport:
                    accuracy_percent=100.0 - avg)
 
 
+#: :attr:`ComparisonOutcome.status` values.
+COMPARE_OK = "ok"
+COMPARE_NO_CROSSING = "no-crossing"
+COMPARE_ZERO_REFERENCE = "zero-reference"
+
+
+@dataclass(frozen=True)
+class ComparisonOutcome:
+    """Result of comparing a test delay against a reference delay.
+
+    A structured verdict instead of an exception, so bulk comparison
+    (the shadow-SPICE auditor sampling arbitrary arcs) degrades
+    gracefully on odd arcs — a sensitization with no crossing, or a
+    degenerate zero reference — instead of aborting the run.
+
+    Attributes:
+        status: ``"ok"`` (both delays present, reference nonzero),
+            ``"no-crossing"`` (either delay missing), or
+            ``"zero-reference"``.
+        error_percent: ``|test - ref| / |ref| * 100`` when ok, None
+            otherwise.
+        test_delay / reference_delay: the inputs, for reporting.
+    """
+
+    status: str
+    error_percent: Optional[float]
+    test_delay: Optional[float]
+    reference_delay: Optional[float]
+
+    @property
+    def ok(self) -> bool:
+        return self.status == COMPARE_OK
+
+
 def compare_delays(test_delay: Optional[float],
-                   reference_delay: Optional[float]) -> float:
+                   reference_delay: Optional[float]
+                   ) -> ComparisonOutcome:
     """Percent delay error of a test engine against the reference.
 
-    Raises:
-        ValueError: if either delay is missing (no crossing found).
+    Never raises: missing delays (no crossing found) and a zero
+    reference come back as non-ok :class:`ComparisonOutcome` statuses.
+    Callers that want the old fail-fast behavior can use
+    :func:`accuracy_percent`, which still raises on non-ok outcomes.
     """
     if test_delay is None or reference_delay is None:
-        raise ValueError("cannot compare missing delays")
+        return ComparisonOutcome(COMPARE_NO_CROSSING, None,
+                                 test_delay, reference_delay)
     if reference_delay == 0:
-        raise ValueError("reference delay is zero")
-    return abs(test_delay - reference_delay) / abs(reference_delay) * 100.0
+        return ComparisonOutcome(COMPARE_ZERO_REFERENCE, None,
+                                 test_delay, reference_delay)
+    error = abs(test_delay - reference_delay) \
+        / abs(reference_delay) * 100.0
+    return ComparisonOutcome(COMPARE_OK, error, float(test_delay),
+                             float(reference_delay))
 
 
 def accuracy_percent(test_delay: Optional[float],
                      reference_delay: Optional[float]) -> float:
-    """Paper-style accuracy: ``100 - |error%|``."""
-    return 100.0 - compare_delays(test_delay, reference_delay)
+    """Paper-style accuracy: ``100 - |error%|``.
+
+    Raises:
+        ValueError: if the delays cannot be compared (missing crossing
+            or zero reference) — the strict single-measurement API the
+            paper-table tests use.
+    """
+    outcome = compare_delays(test_delay, reference_delay)
+    if not outcome.ok:
+        raise ValueError(f"cannot compare delays: {outcome.status}")
+    return 100.0 - outcome.error_percent
 
 
 def waveform_rms_error(waveform: PiecewiseQuadraticWaveform,

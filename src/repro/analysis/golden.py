@@ -155,6 +155,16 @@ class GoldenRecord:
         return 100.0 * abs(self.qwm_slew - self.spice_slew) \
             / abs(self.spice_slew)
 
+    @property
+    def margin_to_band_pct(self) -> float:
+        """Headroom to the delay band (negative = outside the band).
+
+        Stored per case so near-band corners — the 2 fF step-input
+        inverter sits at ~8.3 % of a 10 % band — are visible in the
+        golden JSON rather than silently passing.
+        """
+        return DELAY_TOLERANCE_PCT - self.delay_error_pct
+
     def to_json(self) -> Dict:
         payload = asdict(self.case)
         payload.update({
@@ -165,6 +175,7 @@ class GoldenRecord:
             "qwm_slew": self.qwm_slew,
             "delay_error_pct": self.delay_error_pct,
             "slew_error_pct": self.slew_error_pct,
+            "margin_to_band_pct": self.margin_to_band_pct,
         })
         return payload
 
@@ -306,11 +317,18 @@ def load(directory: str) -> List[GoldenRecord]:
 # ----------------------------------------------------------------------
 @dataclass
 class GoldenDiff:
-    """Outcome of re-checking one stored case."""
+    """Outcome of re-checking one stored case.
+
+    ``attribution`` is the accuracy observatory's error-budget roll-up
+    of the fresh QWM solve (dominant ``phase:tag`` cell by summed
+    residual norm) — populated by :func:`check`, None when the record
+    was not re-measured through it.
+    """
 
     record: GoldenRecord
     fresh_delay: float
     fresh_slew: Optional[float]
+    attribution: Optional[Dict] = None
 
     @property
     def delay_error_pct(self) -> float:
@@ -324,6 +342,11 @@ class GoldenDiff:
             return None
         return 100.0 * abs(self.fresh_slew - self.record.spice_slew) \
             / abs(self.record.spice_slew)
+
+    @property
+    def margin_to_band_pct(self) -> float:
+        """Headroom to the delay band (negative = outside the band)."""
+        return DELAY_TOLERANCE_PCT - self.delay_error_pct
 
     @property
     def ok(self) -> bool:
@@ -343,14 +366,18 @@ def check(records: Sequence[GoldenRecord], tech: Technology,
     a self-contained debug bundle (netlist, table slices, ledger) lands
     in the configured bundle directory for offline replay.
     """
+    from repro.obs.accuracy import attribute_regions, capture_regions
+
     if evaluator is None:
         evaluator = WaveformEvaluator(tech,
                                       library=TableModelLibrary(tech))
     diffs = []
     for record in records:
-        delay, slew = qwm_measure(record.case, tech, evaluator)
+        with capture_regions() as capture:
+            delay, slew = qwm_measure(record.case, tech, evaluator)
         diff = GoldenDiff(record=record, fresh_delay=delay,
-                          fresh_slew=slew)
+                          fresh_slew=slew,
+                          attribution=attribute_regions(capture.notes))
         if not diff.ok:
             _capture_violation(diff, tech, evaluator)
         diffs.append(diff)
@@ -379,6 +406,27 @@ def _capture_violation(diff: GoldenDiff, tech: Technology,
             pass
         finally:
             fl.consume_force_capture()
+
+
+def history_cases(diffs: Sequence[GoldenDiff]
+                  ) -> Dict[str, Dict]:
+    """Diffs keyed for the accuracy-history ledger.
+
+    The shape :func:`repro.obs.accuracy.history_entry` consumes — one
+    section per case with error, band margin and the dominant
+    attribution cell.
+    """
+    cases: Dict[str, Dict] = {}
+    for diff in diffs:
+        attribution = diff.attribution or {}
+        cases[diff.record.case.name] = {
+            "delay_error_pct": diff.delay_error_pct,
+            "slew_error_pct": diff.slew_error_pct,
+            "margin_to_band_pct": diff.margin_to_band_pct,
+            "attribution": attribution.get("dominant"),
+            "status": "ok" if diff.ok else "band-violation",
+        }
+    return cases
 
 
 def format_report(diffs: Sequence[GoldenDiff]) -> str:

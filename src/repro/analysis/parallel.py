@@ -49,6 +49,7 @@ from repro.analysis.sta import (ArcFn, ArrivalTime, Event, StaResult,
 from repro.circuit.netlist import LogicStage
 from repro.circuit.stage import StageGraph
 from repro.obs import inc, set_gauge, span
+from repro.obs.accuracy import observatory
 from repro.obs.flight import flight
 from repro.obs.profile import profile_add, profiler
 from repro.resilience import faults
@@ -510,7 +511,8 @@ _WORKER_ANALYZER: Optional[StaticTimingAnalyzer] = None
 
 def _process_worker_init(tech, library, options, propagate_slews,
                          input_slew, flight_config=None,
-                         fault_plan=None, profile_config=None) -> None:
+                         fault_plan=None, profile_config=None,
+                         accuracy_config=None) -> None:
     global _WORKER_ANALYZER
     _WORKER_ANALYZER = StaticTimingAnalyzer(
         tech, library=library, options=options,
@@ -522,6 +524,14 @@ def _process_worker_init(tech, library, options, propagate_slews,
         from repro.obs.profile import configure_profile
 
         configure_profile(profile_config)
+    if accuracy_config is not None and accuracy_config.enabled:
+        # Same delta-shipping shape as the profiler: workers note arc
+        # candidates locally, each stage task drains them into the
+        # payload, and the parent's merge is a set union — so the
+        # audited candidate set is backend-independent.
+        from repro.obs.accuracy import configure_accuracy
+
+        configure_accuracy(accuracy_config)
     if flight_config is not None and flight_config.enabled:
         # Workers record into their own ledgers; bundles (the durable
         # artifact) land in the shared bundle_dir either way.
@@ -545,9 +555,10 @@ def _process_stage_task(stage: LogicStage,
     """Worker-process task: evaluate one stage against shipped cache.
 
     Returns (arrivals, stats, new cache entries, shipped-entry hits,
-    drained profile ledger or None); the parent merges the new entries
-    into the shared cache so later dispatches of equal configurations
-    hit, and merges the ledger into the parent profiler.
+    drained profile ledger or None, drained accuracy ledger or None);
+    the parent merges the new entries into the shared cache so later
+    dispatches of equal configurations hit, and merges the ledgers
+    into the parent profiler / accuracy observatory.
     """
     analyzer = _WORKER_ANALYZER
     assert analyzer is not None, "worker pool initializer did not run"
@@ -581,7 +592,10 @@ def _process_stage_task(stage: LogicStage,
                                       analyzer.input_slew)
     prof = profiler()
     ledger = prof.drain() if prof.enabled else None
-    return computed, stats, new_entries, hit_count, ledger
+    acc = observatory()
+    accuracy_delta = acc.drain() if acc.enabled else None
+    return computed, stats, new_entries, hit_count, ledger, \
+        accuracy_delta
 
 
 # ----------------------------------------------------------------------
@@ -690,7 +704,8 @@ class ParallelStaEngine:
             initargs=(self.analyzer.tech, evaluator.library,
                       evaluator.options, self.analyzer.propagate_slews,
                       self.analyzer.input_slew, flight().config,
-                      faults.active_plan(), profiler().config))
+                      faults.active_plan(), profiler().config,
+                      observatory().config))
 
     def _run_pooled(self, graph: StageGraph, order: List[LogicStage],
                     arrivals: Dict[Event, ArrivalTime],
@@ -814,13 +829,16 @@ class ParallelStaEngine:
             if config.backend == "thread":
                 computed, stats = payload
             else:
-                computed, stats, new_entries, hit_count, ledger = payload
+                (computed, stats, new_entries, hit_count, ledger,
+                 accuracy_delta) = payload
                 if self.cache is not None:
                     self.cache.merge(new_entries)
                     self.cache.record_external(
                         hit_count, len(new_entries))
                 if ledger is not None:
                     profiler().merge(ledger)
+                if accuracy_delta is not None:
+                    observatory().merge(accuracy_delta)
             complete(stage, computed, stats)
 
         def recover_broken_pool(first_casualty: LogicStage) -> None:

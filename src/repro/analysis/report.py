@@ -129,4 +129,20 @@ def design_summary(graph: StageGraph, result: StaResult) -> str:
         lines.append(
             f"Degraded arrivals: {len(degraded)} of "
             f"{len(result.arrivals)} via fallback rungs ({detail})")
+    audit = getattr(result, "audit", None)
+    if audit:
+        summary = audit["summary"]
+        mean = summary["mean_delay_error_pct"]
+        worst = summary["worst_delay_error_pct"]
+        if mean is not None:
+            worst_arc = "/".join(summary["worst_arc"][:4])
+            lines.append(
+                f"Shadow-SPICE audit: {summary['arcs_audited']} arcs, "
+                f"mean error {mean:.2f}%, worst {worst:.2f}% "
+                f"({worst_arc}), {summary['violations']} outside the "
+                f"{summary['band_pct']:.1f}% band")
+        else:
+            lines.append(
+                f"Shadow-SPICE audit: {summary['arcs_audited']} arcs, "
+                f"no comparable crossings")
     return "\n".join(lines)

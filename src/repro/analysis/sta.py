@@ -29,6 +29,7 @@ from repro.core.qwm import QWMOptions
 from repro.devices.table_model import TableModelLibrary
 from repro.devices.technology import Technology
 from repro.obs import inc, observe, span
+from repro.obs.accuracy import note_arc_candidate
 from repro.obs.flight import flight
 from repro.obs.profile import profile_add, profile_phase
 from repro.resilience import faults
@@ -99,12 +100,15 @@ class StaResult:
             worst arrival, primary input first.
         stats: QWM cost aggregated over every arc evaluation of the run
             (including sensitizations that were tried and rejected).
+        audit: shadow-SPICE audit report (``repro-accuracy-audit/1``
+            JSON) when the run was audited, else None.
     """
 
     arrivals: Dict[Event, ArrivalTime]
     worst: Optional[ArrivalTime]
     critical_path: List[Event] = field(default_factory=list)
     stats: SimulationStats = field(default_factory=SimulationStats)
+    audit: Optional[Dict] = None
 
     def arrival(self, net: str, direction: str) -> Optional[ArrivalTime]:
         return self.arrivals.get((net, direction))
@@ -152,6 +156,8 @@ def compute_stage_arrivals(stage: LogicStage,
                     continue
                 input_slew = (src.slew or default_slew
                               if propagate_slews else None)
+                note_arc_candidate(stage.name, out_node.name, out_dir,
+                                   input_name, input_slew)
                 arc = arc_fn(stage, out_node.name, out_dir,
                              input_name, input_slew)
                 if arc is None:

@@ -3,9 +3,10 @@
 Commands
 --------
 
-``sta DECK.sp``
+``sta [DECK.sp]``
     Parse a SPICE-style deck, extract logic stages, run QWM-driven
     longest-path STA, and print the arrival/critical-path reports.
+    Without a deck a built-in ``--bits`` address decoder is timed.
     ``--required 500p`` adds slack; ``--corners`` re-times at the
     process corners.  ``--workers 4 --backend thread`` evaluates
     stages on a worker pool (identical arrivals, see
@@ -14,7 +15,11 @@ Commands
     ``--no-escalation`` restores fail-fast arc solves (by default a
     failed solve degrades down the resilience ladder and the arrival
     is tagged with the absorbing rung, see
-    :mod:`repro.resilience.ladder`).
+    :mod:`repro.resilience.ladder`).  ``--audit N`` shadow-SPICE
+    audits N deterministically sampled arcs of the run and prints the
+    per-arc error distribution with phase attribution
+    (:mod:`repro.analysis.audit`); ``--history`` appends the errors
+    to the accuracy ledger.
 
 ``simulate DECK.sp --input a=step:0:3.3:20p --node out``
     Transient-simulate a single-stage deck with the reference engine
@@ -75,6 +80,16 @@ Commands
     (``benchmarks/results/BENCH_history.jsonl``, appended by the bench
     suite) and flag metrics that regressed by more than 10 % (exit 1;
     CI runs this report-only).
+
+``accuracy-diff``
+    The accuracy analogue: compare the last two entries of the
+    accuracy history ledger (``benchmarks/results/
+    ACCURACY_history.jsonl``, appended by ``golden --history``,
+    ``sta --audit N --history`` and the ``BENCH_ACCURACY=1`` bench
+    section) and flag cases whose delay error *grew* by more than
+    1 pp or newly left the tolerance band (direction-aware: shrinking
+    error never flags).  Names the worst-drifting case and its
+    attributed solver phase; exit 1 on drift.
 
 ``stats [DECK.sp]``
     Evaluate one transition with QWM under full telemetry and print a
@@ -149,6 +164,23 @@ from repro.spice import (
 )
 
 
+#: Default accuracy-history ledger, next to the bench ledger.
+ACCURACY_HISTORY_PATH = os.path.join("benchmarks", "results",
+                                     "ACCURACY_history.jsonl")
+
+
+def _git_sha() -> str:
+    """HEAD commit for ledger entries (``unknown`` outside a repo)."""
+    import subprocess
+
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
 def parse_source_spec(spec: str) -> (str, Source):
     """Parse ``name=kind:args`` into an input name and a Source."""
     if "=" not in spec:
@@ -171,9 +203,15 @@ def _cmd_sta(args: argparse.Namespace) -> int:
     from repro.analysis.parallel import ExecutionConfig, StageResultCache
 
     tech = CMOSP35
-    with open(args.deck) as handle:
-        text = handle.read()
+    if args.deck:
+        with open(args.deck) as handle:
+            text = handle.read()
+        deck_name = args.deck
+    else:
+        text = None
+        deck_name = f"decoder{args.bits} (built-in)"
     required = parse_value(args.required) if args.required else None
+    audit = args.audit or 0
 
     parallel = (args.workers > 1 or args.backend != "serial"
                 or args.cache or args.cache_file)
@@ -196,26 +234,57 @@ def _cmd_sta(args: argparse.Namespace) -> int:
 
         resilience = EscalationPolicy(enabled=False)
 
-    def run(technology):
-        netlist = parse_spice_netlist(text, technology, name=args.deck)
+    def run(technology, with_audit=False):
+        if text is not None:
+            netlist = parse_spice_netlist(text, technology,
+                                          name=args.deck)
+        else:
+            from repro.circuit import builders
+
+            netlist = builders.decoder_netlist(technology,
+                                               bits=args.bits)
         graph = extract_stages(netlist, tech=technology)
-        if parallel or resilience is not None:
+        # An audited run needs the full analyzer (the auditor re-solves
+        # sampled arcs through stage_arc and the shadow-SPICE engine).
+        if parallel or resilience is not None or with_audit:
             from repro.analysis import StaticTimingAnalyzer
 
             analyzer = StaticTimingAnalyzer(technology,
                                             execution=execution,
                                             cache=cache,
                                             resilience=resilience)
-            return graph, analyzer.analyze(graph)
-        timer = IncrementalTimer(technology, graph)
-        return graph, timer.analyze()
+            if with_audit:
+                from repro.analysis.audit import analyze_with_audit
 
-    graph, result = run(tech)
+                result, report = analyze_with_audit(
+                    analyzer, graph, audit, seed=args.audit_seed,
+                    band_pct=args.audit_band)
+                return graph, result, report
+            return graph, analyzer.analyze(graph), None
+        timer = IncrementalTimer(technology, graph)
+        return graph, timer.analyze(), None
+
+    graph, result, audit_report = run(tech, with_audit=audit > 0)
     print(design_summary(graph, result))
     print()
     print(critical_path_report(result, required=required))
     print()
     print(arrival_report(result, limit=args.limit))
+    if audit_report is not None:
+        print()
+        print(audit_report.render())
+        if args.history:
+            from repro.obs.accuracy import (append_history_entry,
+                                            history_entry)
+
+            entry = history_entry(
+                "sta-audit", audit_report.history_cases(),
+                git_sha=_git_sha(),
+                extra={"design": deck_name,
+                       "seed": args.audit_seed})
+            path = append_history_entry(
+                entry, args.history_file or ACCURACY_HISTORY_PATH)
+            print(f"appended audit entry to {path}", file=sys.stderr)
 
     if args.corners:
         delays = {}
@@ -468,11 +537,32 @@ def _evaluate_single_arc(args: argparse.Namespace):
     return solution, circuit_name, output, switching
 
 
+def _stats_audit_record(args: argparse.Namespace, output: str,
+                        switching: str) -> Dict:
+    """Shadow-SPICE audit of the single arc ``stats`` evaluated."""
+    from repro.analysis import StaticTimingAnalyzer
+    from repro.analysis.audit import ArcSample, audit_arc
+    from repro.analysis.parallel import canonical_form_for
+
+    tech = CMOSP35
+    stage, _ = _stats_stage(args, tech)
+    library = TableModelLibrary(tech,
+                                grid_step=parse_value(args.grid_step))
+    analyzer = StaticTimingAnalyzer(tech, library=library)
+    sample = ArcSample(
+        stage=stage.name, output=output, direction=args.direction,
+        switching_input=switching, input_slew=None,
+        fingerprint=canonical_form_for(stage, analyzer).fingerprint)
+    return audit_arc(analyzer, stage, sample)
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.resilience.ladder import QUALITY_ORDER
 
     solution, circuit_name, output, switching = \
         _evaluate_single_arc(args)
+    audit_record = (_stats_audit_record(args, output, switching)
+                    if args.audit else None)
     bundle = telemetry()
     registry = bundle.metrics
     stats = solution.stats
@@ -523,6 +613,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             "metrics": registry.to_json(),
             "trace": bundle.tracer.stats(),
         }
+        if audit_record is not None:
+            document["accuracy"] = audit_record
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0
 
@@ -557,6 +649,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"{'delay (50%)':<26}{delay_text:>10}")
     print(f"{'solver wall time':<26}"
           f"{stats.wall_time * 1e3:>10.1f} ms")
+    if audit_record is not None:
+        err = audit_record["delay_error_pct"]
+        err_text = (f"{err:.2f}%" if err is not None
+                    else audit_record["status"])
+        dominant = audit_record["attribution"].get("dominant") or "-"
+        print(f"{'shadow-SPICE error':<26}{err_text:>10}   "
+              f"(attributed to {dominant})")
     print()
     print("wall-time tree")
     print(rule)
@@ -656,6 +755,15 @@ def _cmd_golden(args: argparse.Namespace) -> int:
     else:
         diffs = golden.check(records, tech)
     print(golden.format_report(diffs))
+    if args.history:
+        from repro.obs.accuracy import (append_history_entry,
+                                        history_entry)
+
+        entry = history_entry("golden", golden.history_cases(diffs),
+                              git_sha=_git_sha())
+        path = append_history_entry(
+            entry, args.history_file or ACCURACY_HISTORY_PATH)
+        print(f"appended golden entry to {path}", file=sys.stderr)
     return 0 if all(d.ok for d in diffs) else 1
 
 
@@ -707,10 +815,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     recorder = configure_flight(FlightConfig(
         enabled=True, event_limit=args.event_limit))
+    audit_report = None
     try:
         analyzer = StaticTimingAnalyzer(tech, execution=execution,
                                         cache=cache)
-        result = analyzer.analyze(graph)
+        if args.audit:
+            from repro.analysis.audit import analyze_with_audit
+
+            result, audit_report = analyze_with_audit(
+                analyzer, graph, args.audit, seed=args.audit_seed)
+        else:
+            result = analyzer.analyze(graph)
         summary = summarize_ledger(recorder)
     finally:
         disable_flight()
@@ -725,6 +840,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
                             if worst else None),
             "summary": summary,
         }
+        if audit_report is not None:
+            document["accuracy"] = audit_report.to_json()
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0
     print(f"design: {design}   stages: {len(graph.stages)}")
@@ -733,6 +850,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
               f"({worst.net} {worst.direction})")
     print()
     print(render_report(summary))
+    if audit_report is not None:
+        print()
+        print(audit_report.render())
     return 0
 
 
@@ -863,6 +983,61 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Delay-error growth (percentage points) beyond which accuracy-diff
+#: flags a case.  Tighter than bench-diff's 10 % relative band because
+#: the golden errors are small (1-8 %) and drift of one point matters.
+ACCURACY_DIFF_THRESHOLD_PP = 1.0
+
+
+def _cmd_accuracy_diff(args: argparse.Namespace) -> int:
+    from repro.obs.accuracy import (accuracy_regressions,
+                                    load_history_entries,
+                                    worst_regression)
+
+    history = args.history or ACCURACY_HISTORY_PATH
+    entries = load_history_entries(history)
+    if not entries:
+        print(f"accuracy-diff: no history at {history} (run "
+              f"`repro golden --history` or `repro sta --audit N "
+              f"--history` first)", file=sys.stderr)
+        return 0
+    # Entries from different sources (golden suite, audits, bench)
+    # measure different cases; compare within the latest entry's run
+    # unless --run narrows it explicitly.
+    run = args.run or entries[-1].get("run")
+    entries = [e for e in entries if e.get("run") == run]
+    if len(entries) < 2:
+        print(f"accuracy-diff: {len(entries)} history entr"
+              f"{'y' if len(entries) == 1 else 'ies'} for run "
+              f"{run!r} in {history}; need two to compare")
+        return 0
+    prev, last = entries[-2], entries[-1]
+    rows = accuracy_regressions(prev, last, args.threshold)
+    print(f"accuracy-diff: {prev.get('git_sha', '?')[:12]} -> "
+          f"{last.get('git_sha', '?')[:12]} "
+          f"(run={run}, band +{args.threshold:.1f}pp)")
+    for row in rows:
+        marker = "DRIFT" if row["regression"] else "ok"
+        attribution = row["attribution"] or "-"
+        print(f"  {row['case']:<40} "
+              f"{row['baseline_error_pct']:>7.2f}% -> "
+              f"{row['current_error_pct']:>7.2f}%  "
+              f"{row['drift_pp']:>+7.2f}pp  {marker:<6} {attribution}"
+              + ("  [left band]" if row["left_band"] else ""))
+    if not rows:
+        print("  (no cases shared between the two entries)")
+    flagged = [r for r in rows if r["regression"]]
+    if flagged:
+        worst = worst_regression(rows)
+        print(f"{len(flagged)} case(s) drifted beyond "
+              f"{args.threshold:.1f}pp; worst: {worst['case']} "
+              f"({worst['drift_pp']:+.2f}pp, attributed to "
+              f"{worst['attribution'] or 'unknown'})")
+        return 1
+    print("no accuracy drift beyond the band")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -883,7 +1058,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sta = sub.add_parser("sta", help="longest-path STA over a deck")
-    sta.add_argument("deck")
+    sta.add_argument("deck", nargs="?", default=None,
+                     help="optional deck (default: a built-in address "
+                          "decoder, see --bits)")
+    sta.add_argument("--bits", type=int, default=3,
+                     help="address bits of the built-in decoder when "
+                          "no deck is given")
     sta.add_argument("--required", default=None,
                      help="required arrival time (e.g. 500p)")
     sta.add_argument("--corners", action="store_true",
@@ -906,6 +1086,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable the resilience ladder: a failed "
                           "arc solve raises instead of degrading to "
                           "retry/SPICE/bound rungs")
+    sta.add_argument("--audit", type=int, default=0, metavar="N",
+                     help="shadow-SPICE audit: deterministically "
+                          "sample N of the run's arcs (stratified by "
+                          "canonical stage form), re-solve each with "
+                          "the adaptive transient engine and report "
+                          "the per-arc error distribution with phase "
+                          "attribution")
+    sta.add_argument("--audit-seed", type=int, default=0,
+                     help="sampling seed (same seed, same arcs)")
+    sta.add_argument("--audit-band", type=float, default=10.0,
+                     help="audit acceptance band in percent (audit "
+                          "arcs outside it emit flight bundles when "
+                          "capture is on)")
+    sta.add_argument("--history", action="store_true",
+                     help="append the audit errors to the accuracy "
+                          "history ledger (needs --audit)")
+    sta.add_argument("--history-file", metavar="PATH", default=None,
+                     help="accuracy ledger path (default: benchmarks/"
+                          "results/ACCURACY_history.jsonl)")
     sta.set_defaults(func=_cmd_sta)
 
     sim = sub.add_parser("simulate",
@@ -988,6 +1187,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--json", action="store_true",
                        help="emit the breakdown and raw metrics as "
                             "JSON")
+    stats.add_argument("--audit", action="store_true",
+                       help="also shadow-SPICE audit the arc and "
+                            "report its error with phase attribution")
     stats.set_defaults(func=_cmd_stats)
 
     prof = sub.add_parser("profile",
@@ -1040,6 +1242,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="record the run with the flight recorder "
                            "and write a debug bundle per band "
                            "violation under DIR")
+    gold.add_argument("--history", action="store_true",
+                      help="append this run's per-case errors to the "
+                           "accuracy history ledger")
+    gold.add_argument("--history-file", metavar="PATH", default=None,
+                      help="accuracy ledger path (default: benchmarks/"
+                           "results/ACCURACY_history.jsonl)")
     gold.set_defaults(func=_cmd_golden)
 
     replay = sub.add_parser("replay",
@@ -1067,6 +1275,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="flight ledger event cap for the run")
     rep.add_argument("--json", action="store_true",
                      help="emit the aggregated summary as JSON")
+    rep.add_argument("--audit", type=int, default=0, metavar="N",
+                     help="shadow-SPICE audit N sampled arcs and add "
+                          "an accuracy section to the report")
+    rep.add_argument("--audit-seed", type=int, default=0,
+                     help="audit sampling seed")
     rep.set_defaults(func=_cmd_report)
 
     chaos = sub.add_parser("chaos",
@@ -1099,6 +1312,22 @@ def build_parser() -> argparse.ArgumentParser:
                        default=BENCH_DIFF_THRESHOLD_PCT,
                        help="regression band in percent")
     bdiff.set_defaults(func=_cmd_bench_diff)
+
+    adiff = sub.add_parser("accuracy-diff",
+                           help="flag accuracy drift between the last "
+                                "two accuracy history entries")
+    adiff.add_argument("--history", default=None,
+                       help="history file (default: benchmarks/results/"
+                            "ACCURACY_history.jsonl)")
+    adiff.add_argument("--run", default=None,
+                       help="compare entries of this run name "
+                            "(default: the latest entry's run)")
+    adiff.add_argument("--threshold", type=float,
+                       default=ACCURACY_DIFF_THRESHOLD_PP,
+                       help="drift band in percentage points of delay "
+                            "error (one-sided: shrinking error never "
+                            "flags)")
+    adiff.set_defaults(func=_cmd_accuracy_diff)
     return parser
 
 

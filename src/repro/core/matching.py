@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.path import DischargePath
 from repro.obs import inc
+from repro.obs.accuracy import CONDITION_TAGS, note_region
 from repro.obs.profile import profile_add
 from repro.linalg.sherman_morrison import solve_bordered_tridiagonal
 from repro.linalg.tridiagonal import TridiagonalMatrix
@@ -320,9 +321,17 @@ class RegionSystem:
             return np.linalg.solve(dense, rhs)
 
         try:
-            return solver.solve(self.residual, jacobian, x0,
-                                linear_solve=linear_solve,
-                                trajectory=trajectory)
+            result = solver.solve(self.residual, jacobian, x0,
+                                  linear_solve=linear_solve,
+                                  trajectory=trajectory)
+            # Accuracy-observatory residual export: when an audit has
+            # armed a region capture on this thread, note the converged
+            # region's final residual norm under the same taxonomy the
+            # profiler uses.  Unarmed, this is one thread-local read.
+            note_region(CONDITION_TAGS.get(type(self.condition).__name__,
+                                           "region"),
+                        self.m, result.residual_norm, result.iterations)
+            return result
         finally:
             if sm_solves:
                 profile_add("sherman_morrison", sm_solves)

@@ -42,6 +42,7 @@ from repro.core.path import DischargePath
 from repro.core.waveforms import PiecewiseQuadraticWaveform, QuadraticPiece
 from repro.linalg.newton import NewtonConvergenceError, NewtonOptions
 from repro.obs import inc, observe, span
+from repro.obs.accuracy import accuracy_region_phase
 from repro.obs.flight import flight
 from repro.obs.profile import profile_phase
 from repro.resilience import faults
@@ -737,7 +738,8 @@ class QWMSolver:
         reasons: List[str] = []
         failed_iterations = 0
         region_queries = 0
-        with region_phase as prof, region_span:
+        with region_phase as prof, region_span, \
+                accuracy_region_phase(phase):
             for scale, order in scales:
                 attempts += 1
                 region_iterations = 0

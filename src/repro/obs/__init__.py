@@ -24,6 +24,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.obs.accuracy import (AccuracyConfig, AccuracyObservatory,
+                                accuracy_regressions,
+                                append_history_entry, attribute_regions,
+                                capture_regions, configure_accuracy,
+                                disable_accuracy, history_entry,
+                                load_history_entries, note_region,
+                                observatory, worst_regression)
 from repro.obs.config import ObsConfig, SINK_KINDS
 from repro.obs.flight import (FlightConfig, FlightRecorder, LedgerEvent,
                               configure_flight, disable_flight, flight,
@@ -54,6 +61,11 @@ __all__ = [
     "disable_profile", "profile_phase", "profile_add", "to_collapsed",
     "to_speedscope", "export_speedscope", "summarize_profile",
     "render_profile", "phase_self_seconds",
+    "AccuracyConfig", "AccuracyObservatory", "observatory",
+    "configure_accuracy", "disable_accuracy", "capture_regions",
+    "note_region", "attribute_regions", "history_entry",
+    "append_history_entry", "load_history_entries",
+    "accuracy_regressions", "worst_regression",
 ]
 
 

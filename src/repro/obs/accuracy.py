@@ -1,0 +1,500 @@
+"""Accuracy observatory: error ledgers and residual attribution.
+
+The repo's other observability legs watch *time* (the phase profiler),
+*events* (the flight recorder) and *counts* (metrics); this module
+watches *error* — the quantity the paper's headline claim ("average
+accuracy of 99%") is actually about.  It has three pieces:
+
+* **Arc-candidate ledger** — while an audited STA run executes, every
+  attempted stage arc is noted into a process-wide observatory (one
+  attribute check when disabled, mirroring the profiler).  Process
+  workers drain their ledgers into the task payload and the parent
+  merges them, so the candidate set is identical across the serial,
+  thread and process backends by construction.  The shadow-SPICE
+  auditor (:mod:`repro.analysis.audit`) samples from this set.
+
+* **Region capture** — a thread-local recorder the auditor arms around
+  a QWM re-solve.  :meth:`repro.core.matching.RegionSystem.newton_solve`
+  notes every converged region's final residual norm into the active
+  capture, tagged with the same taxonomy the profiler uses (region
+  condition, active-node count K, ``qwm.phase12`` vs ``qwm.phase3``),
+  so a per-arc error is attributable to a *phase*, not just a case.
+  When no capture is armed the hook is a thread-local read.
+
+* **History ledger** — append-only ``ACCURACY_history.jsonl`` entries
+  (format :data:`HISTORY_FORMAT`) fed by the golden suite, audits and
+  the benchmark accuracy section; ``repro accuracy-diff`` compares
+  consecutive entries direction-aware (error *growing* is a
+  regression, error shrinking never is).
+
+Determinism contract: nothing recorded here carries wall-clock or
+host state — records are pure functions of the design, the seed and
+the solver configuration, which is what makes "serial and process
+backends produce bit-identical audit records" testable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "AccuracyConfig", "AccuracyObservatory", "observatory",
+    "configure_accuracy", "disable_accuracy", "note_arc_candidate",
+    "RegionCapture", "capture_regions", "accuracy_region_phase",
+    "note_region", "attribute_regions",
+    "history_entry", "append_history_entry", "load_history_entries",
+    "accuracy_regressions", "worst_regression",
+    "LEDGER_FORMAT", "HISTORY_FORMAT", "CONDITION_TAGS",
+]
+
+#: Audit-ledger format tag (bumped on incompatible record changes).
+LEDGER_FORMAT = "repro-accuracy-audit/1"
+#: History-ledger format tag (one JSONL entry per golden/audit run).
+HISTORY_FORMAT = "repro-accuracy-history/1"
+
+#: Region condition class -> attribution tag — the same mapping the
+#: phase profiler uses (:data:`repro.core.qwm._CONDITION_TAGS`), kept
+#: here so :mod:`repro.core.matching` can tag captures without
+#: importing :mod:`repro.core.qwm` (matching is imported *by* qwm).
+CONDITION_TAGS = {"TurnOnCondition": "turn_on",
+                  "CrossingCondition": "crossing",
+                  "TimeCondition": "time"}
+
+#: One arc candidate: (stage, output, direction, input, slew token).
+ArcKey = Tuple[str, str, str, str, str]
+
+
+def slew_token(input_slew: Optional[float]) -> str:
+    """Canonical string form of an arc's input slew (``step`` for None)."""
+    return "step" if not input_slew else repr(float(input_slew))
+
+
+def slew_from_token(token: str) -> Optional[float]:
+    """Inverse of :func:`slew_token`."""
+    return None if token == "step" else float(token)
+
+
+@dataclass
+class AccuracyConfig:
+    """Controls for the accuracy observatory.
+
+    Attributes:
+        enabled: master switch.  When False (the default) the arc
+            noting hook is a single attribute check and no state
+            accumulates.
+        max_records: cap on retained audit records; records beyond the
+            cap are dropped and counted (the candidate set itself is
+            bounded by the design's arc count).
+    """
+
+    enabled: bool = False
+    max_records: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_records < 1:
+            raise ValueError("max_records must be >= 1")
+
+
+class AccuracyObservatory:
+    """Thread-safe arc-candidate set + audit-record ledger.
+
+    Mirrors :class:`repro.obs.profile.PhaseProfiler`: process-wide,
+    disabled by default, with :meth:`drain`/:meth:`merge` shaped so
+    per-worker deltas shipped through task payloads recombine into
+    exactly the serial run's ledger (set union and keyed insertion
+    commute).
+    """
+
+    def __init__(self, config: Optional[AccuracyConfig] = None):
+        self.config = config or AccuracyConfig()
+        #: Fast-path switch (plain attribute, mirrors ``Tracer.enabled``).
+        self.enabled = self.config.enabled
+        self._lock = threading.Lock()
+        self._arcs: Dict[ArcKey, None] = {}
+        self._records: Dict[ArcKey, Dict[str, Any]] = {}
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    def note_arc(self, stage: str, output: str, direction: str,
+                 switching_input: str,
+                 input_slew: Optional[float]) -> None:
+        """Note one attempted arc candidate (idempotent)."""
+        key = (stage, output, direction, switching_input,
+               slew_token(input_slew))
+        with self._lock:
+            self._arcs[key] = None
+
+    def record_audit(self, record: Dict[str, Any]) -> None:
+        """Store one audit record, keyed by its arc.
+
+        Re-auditing an arc overwrites (records are deterministic, so
+        the values are identical); records beyond ``max_records`` for
+        *new* arcs are dropped and counted.
+        """
+        key = tuple(record["arc"])
+        with self._lock:
+            if key not in self._records \
+                    and len(self._records) >= self.config.max_records:
+                self._dropped += 1
+                return
+            self._records[key] = record
+
+    # ------------------------------------------------------------------
+    def arc_candidates(self) -> List[ArcKey]:
+        """Every noted arc, sorted (scheduler-order independent)."""
+        with self._lock:
+            return sorted(self._arcs)
+
+    def to_json(self) -> Dict[str, Any]:
+        """The ledger as a JSON-serializable dict (sorted keys)."""
+        with self._lock:
+            return {
+                "format": LEDGER_FORMAT,
+                "arcs": [list(key) for key in sorted(self._arcs)],
+                "records": [self._records[key]
+                            for key in sorted(self._records)],
+                "dropped_records": self._dropped,
+            }
+
+    def drain(self) -> Dict[str, Any]:
+        """Snapshot the ledger and reset it atomically.
+
+        The process backend drains the worker's observatory after
+        every stage task and ships the delta back with the payload;
+        the parent merges, so the parent's candidate set equals the
+        serial run's no matter how stages were scheduled.
+        """
+        with self._lock:
+            snapshot = {
+                "format": LEDGER_FORMAT,
+                "arcs": [list(key) for key in sorted(self._arcs)],
+                "records": [self._records[key]
+                            for key in sorted(self._records)],
+                "dropped_records": self._dropped,
+            }
+            self._arcs = {}
+            self._records = {}
+            self._dropped = 0
+            return snapshot
+
+    def merge(self, payload: Dict[str, Any]) -> None:
+        """Fold a drained ledger into this one (union; commutative)."""
+        arcs = [tuple(arc) for arc in payload.get("arcs", ())]
+        records = list(payload.get("records", ()))
+        with self._lock:
+            for key in arcs:
+                self._arcs[key] = None
+        for record in records:
+            self.record_audit(record)
+        with self._lock:
+            self._dropped += int(payload.get("dropped_records", 0))
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"arcs": len(self._arcs),
+                    "records": len(self._records),
+                    "dropped": self._dropped}
+
+
+#: The process-wide observatory; disabled until ``configure_accuracy``.
+_OBSERVATORY = AccuracyObservatory(AccuracyConfig(enabled=False))
+
+
+def observatory() -> AccuracyObservatory:
+    """The current process-wide accuracy observatory."""
+    return _OBSERVATORY
+
+
+def configure_accuracy(config: AccuracyConfig) -> AccuracyObservatory:
+    """Install a fresh observatory for ``config`` and return it."""
+    global _OBSERVATORY
+    _OBSERVATORY = AccuracyObservatory(config)
+    return _OBSERVATORY
+
+
+def disable_accuracy() -> AccuracyObservatory:
+    """Restore the default disabled observatory."""
+    return configure_accuracy(AccuracyConfig(enabled=False))
+
+
+def note_arc_candidate(stage: str, output: str, direction: str,
+                       switching_input: str,
+                       input_slew: Optional[float]) -> None:
+    """Note an attempted arc on the current observatory (no-op when off)."""
+    obs = _OBSERVATORY
+    if obs.enabled:
+        obs.note_arc(stage, output, direction, switching_input,
+                     input_slew)
+
+
+# ----------------------------------------------------------------------
+# Region capture: thread-local residual attribution for one re-solve.
+# ----------------------------------------------------------------------
+class RegionCapture:
+    """Accumulates per-region residual notes during one QWM solve."""
+
+    __slots__ = ("notes", "phases")
+
+    def __init__(self) -> None:
+        self.notes: List[Dict[str, Any]] = []
+        self.phases: List[str] = []
+
+    def note(self, tag: str, k: int, residual_norm: float,
+             iterations: int) -> None:
+        phase = self.phases[-1] if self.phases else "qwm"
+        self.notes.append({
+            "phase": phase,
+            "tag": tag,
+            "k": int(k),
+            "residual_norm": float(residual_norm),
+            "iterations": int(iterations),
+        })
+
+
+_LOCAL = threading.local()
+
+
+def _active_capture() -> Optional[RegionCapture]:
+    return getattr(_LOCAL, "capture", None)
+
+
+class _CaptureScope:
+    """Context manager arming a :class:`RegionCapture` on this thread."""
+
+    __slots__ = ("capture", "_previous")
+
+    def __init__(self) -> None:
+        self.capture = RegionCapture()
+        self._previous: Optional[RegionCapture] = None
+
+    def __enter__(self) -> RegionCapture:
+        self._previous = getattr(_LOCAL, "capture", None)
+        _LOCAL.capture = self.capture
+        return self.capture
+
+    def __exit__(self, *exc: Any) -> None:
+        _LOCAL.capture = self._previous
+
+
+def capture_regions() -> _CaptureScope:
+    """Arm region capture for the enclosed solve (thread-local)."""
+    return _CaptureScope()
+
+
+class _NoopContext:
+    """Shared do-nothing context when no capture is armed."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopContext":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NOOP_CONTEXT = _NoopContext()
+
+
+class _PhaseScope:
+    """Pushes a solver-phase label onto the active capture."""
+
+    __slots__ = ("_capture", "_phase")
+
+    def __init__(self, capture: RegionCapture, phase: str):
+        self._capture = capture
+        self._phase = phase
+
+    def __enter__(self) -> "_PhaseScope":
+        self._capture.phases.append(self._phase)
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._capture.phases.pop()
+
+
+def accuracy_region_phase(phase: str):
+    """Label subsequent region notes with ``phase`` (no-op unarmed).
+
+    :meth:`repro.core.qwm.QWMSolver._solve_region` opens this around
+    each region solve with its profiler phase (``qwm.phase12`` for the
+    cascade, ``qwm.phase3`` for the milestone regions), so captured
+    residual notes carry the same phase taxonomy the profiler reports.
+    """
+    capture = getattr(_LOCAL, "capture", None)
+    if capture is None:
+        return _NOOP_CONTEXT
+    return _PhaseScope(capture, phase)
+
+
+def note_region(tag: str, k: int, residual_norm: float,
+                iterations: int) -> None:
+    """Note one converged region into the active capture (if armed)."""
+    capture = getattr(_LOCAL, "capture", None)
+    if capture is not None:
+        capture.note(tag, k, residual_norm, iterations)
+
+
+def attribute_regions(notes: Sequence[Dict[str, Any]]
+                      ) -> Dict[str, Any]:
+    """Aggregate captured region notes into an error-budget attribution.
+
+    Groups notes by ``phase:tag`` cell; the *dominant* cell is the one
+    with the largest summed final residual norm (ties break
+    lexicographically, so attribution is deterministic).  Returns the
+    cells plus the dominant label, region count and the maximum
+    active-node count K seen.
+    """
+    cells: Dict[str, Dict[str, Any]] = {}
+    for entry in notes:
+        label = f"{entry['phase']}:{entry['tag']}"
+        cell = cells.setdefault(label, {
+            "regions": 0, "iterations": 0,
+            "residual_norm_sum": 0.0, "max_k": 0})
+        cell["regions"] += 1
+        cell["iterations"] += int(entry["iterations"])
+        cell["residual_norm_sum"] += float(entry["residual_norm"])
+        cell["max_k"] = max(cell["max_k"], int(entry["k"]))
+    dominant = None
+    for label in sorted(cells):
+        score = cells[label]["residual_norm_sum"]
+        if dominant is None or score > cells[dominant][
+                "residual_norm_sum"]:
+            dominant = label
+    return {
+        "regions": sum(cell["regions"] for cell in cells.values()),
+        "max_k": max([cell["max_k"] for cell in cells.values()],
+                     default=0),
+        "dominant": dominant,
+        "cells": {label: cells[label] for label in sorted(cells)},
+    }
+
+
+# ----------------------------------------------------------------------
+# History ledger (ACCURACY_history.jsonl).
+# ----------------------------------------------------------------------
+def history_entry(run: str, cases: Dict[str, Dict[str, Any]],
+                  git_sha: str = "unknown",
+                  extra: Optional[Dict[str, Any]] = None
+                  ) -> Dict[str, Any]:
+    """Build one history-ledger entry.
+
+    Args:
+        run: source of the errors (``"golden"``, ``"sta-audit"``,
+            ``"bench-headline"``).
+        cases: case/arc name -> per-case section.  Recognized keys:
+            ``delay_error_pct`` (required for the diff),
+            ``slew_error_pct``, ``margin_to_band_pct``,
+            ``attribution`` (dominant ``phase:tag`` label), ``status``.
+        git_sha: HEAD commit, when known.
+        extra: optional additional top-level fields (e.g. audit seed).
+
+    Deliberately carries no timestamp: entries must be bit-identical
+    when the design and solver are (lint rule DET003), and the ledger
+    is append-only so ordering already encodes history.
+    """
+    errors = [float(section["delay_error_pct"])
+              for section in cases.values()
+              if section.get("delay_error_pct") is not None]
+    worst_case = None
+    for name in sorted(cases):
+        err = cases[name].get("delay_error_pct")
+        if err is None:
+            continue
+        if worst_case is None \
+                or err > cases[worst_case]["delay_error_pct"]:
+            worst_case = name
+    entry: Dict[str, Any] = {
+        "format": HISTORY_FORMAT,
+        "run": run,
+        "git_sha": git_sha,
+        "cases": {name: cases[name] for name in sorted(cases)},
+        "summary": {
+            "cases": len(cases),
+            "compared": len(errors),
+            "mean_delay_error_pct": (sum(errors) / len(errors)
+                                     if errors else None),
+            "worst_delay_error_pct": (max(errors) if errors else None),
+            "worst_case": worst_case,
+        },
+    }
+    if extra:
+        entry.update(extra)
+    return entry
+
+
+def append_history_entry(entry: Dict[str, Any], path: str) -> str:
+    """Append one entry to a JSONL accuracy-history ledger."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+def load_history_entries(path: str) -> List[Dict[str, Any]]:
+    """All entries of an accuracy-history ledger (oldest first)."""
+    if not os.path.exists(path):
+        return []
+    entries = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+def accuracy_regressions(prev: Dict[str, Any], last: Dict[str, Any],
+                         threshold_pp: float) -> List[Dict[str, Any]]:
+    """Per-case drift between two history entries, direction-aware.
+
+    A case *regresses* when its delay error grew by more than
+    ``threshold_pp`` percentage points, or when it newly left the
+    tolerance band (``margin_to_band_pct`` crossing below zero).
+    Error shrinking is never a regression — the gate is one-sided,
+    like ``repro bench-diff``'s lower-is-better metrics.
+    """
+    rows = []
+    prev_cases = prev.get("cases", {})
+    for name in sorted(last.get("cases", {})):
+        current = last["cases"][name]
+        baseline = prev_cases.get(name)
+        if baseline is None:
+            continue
+        err_now = current.get("delay_error_pct")
+        err_before = baseline.get("delay_error_pct")
+        if err_now is None or err_before is None:
+            continue
+        drift_pp = float(err_now) - float(err_before)
+        margin_now = current.get("margin_to_band_pct")
+        margin_before = baseline.get("margin_to_band_pct")
+        left_band = (margin_now is not None
+                     and margin_before is not None
+                     and margin_now < 0.0 <= margin_before)
+        rows.append({
+            "case": name,
+            "baseline_error_pct": float(err_before),
+            "current_error_pct": float(err_now),
+            "drift_pp": drift_pp,
+            "attribution": current.get("attribution"),
+            "left_band": left_band,
+            "regression": drift_pp > threshold_pp or left_band,
+        })
+    return rows
+
+
+def worst_regression(rows: Sequence[Dict[str, Any]]
+                     ) -> Optional[Dict[str, Any]]:
+    """The worst-drifting regressed case (None when nothing regressed)."""
+    worst = None
+    for row in rows:
+        if not row["regression"]:
+            continue
+        if worst is None or row["drift_pp"] > worst["drift_pp"]:
+            worst = row
+    return worst

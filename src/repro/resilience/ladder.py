@@ -64,7 +64,7 @@ __all__ = [
     "QUALITY_QWM", "QUALITY_RETRY", "QUALITY_SPICE", "QUALITY_BOUNDED",
     "QUALITY_ORDER", "QUALITY_RANK", "merge_quality",
     "ArcSolveError", "EscalationPolicy", "EscalationLadder",
-    "perturbed_options",
+    "adaptive_spice_arc", "perturbed_options",
 ]
 
 QUALITY_QWM = "qwm"
@@ -176,6 +176,72 @@ def perturbed_options(base: QWMOptions, attempt: int) -> QWMOptions:
                    cascade_substeps=base.cascade_substeps + 2 * attempt,
                    max_retries=base.max_retries + 2,
                    newton=newton)
+
+
+def adaptive_spice_arc(analyzer: Any, stage, output: str,
+                       out_direction: str, switching_input: str,
+                       input_slew: Optional[float] = None,
+                       stats: Optional[SimulationStats] = None,
+                       settle: float = 5e-12,
+                       max_steps: int = 50_000,
+                       max_seconds: float = 10.0
+                       ) -> Optional[Tuple[float, Optional[float]]]:
+    """Adaptive-transient evaluation of one stage arc.
+
+    Mirrors the QWM sensitization loop, but on the full stage
+    equations: the input edge is delayed by ``settle`` so the t=0 DC
+    solve settles to the *pre*-transition state, and the delay is
+    measured from the edge's 50% crossing like the QWM path does.
+    Returns (delay, output slew) or None when no sensitization
+    produces a crossing.
+
+    This is both the ladder's ``spice`` rung and the reference solver
+    of the shadow-SPICE auditor (:mod:`repro.analysis.audit`) — one
+    measurement convention, so audit errors are comparable to the
+    golden suite's.  ``analyzer`` is duck-typed like the ladder's: any
+    object with ``tech``, ``evaluator`` and the sensitization helpers.
+    """
+    vdd = stage.vdd
+    rising_in = out_direction == "fall"
+    v0, v1 = (0.0, vdd) if rising_in else (vdd, 0.0)
+    t_edge = settle
+    if input_slew:
+        source = RampSource(v0, v1, t_edge, input_slew)
+        t_input = t_edge + 0.5 * input_slew
+    else:
+        source = StepSource(v0, v1, t_edge)
+        t_input = t_edge
+    base_options = analyzer.evaluator.options
+    options = AdaptiveOptions(
+        t_stop=t_edge + base_options.t_stop,
+        max_steps=max_steps,
+        max_wall_seconds=max_seconds)
+    simulator = AdaptiveTransientSimulator(stage, analyzer.tech,
+                                           options)
+    for levels in analyzer._sensitizations(
+            stage, switching_input, out_direction):
+        inputs: Dict[str, Any] = {switching_input: source}
+        inputs.update({name: ConstantSource(level)
+                       for name, level in levels.items()})
+        result = simulator.run(inputs)
+        if stats is not None:
+            stats.accumulate(result.stats)
+        trace = result.voltages[output]
+        v_start = float(trace[0])
+        if out_direction == "fall" and v_start < 0.55 * vdd:
+            continue
+        if out_direction == "rise" and v_start > 0.45 * vdd:
+            continue
+        delay = result.delay_50(output, vdd, t_input=t_input,
+                                direction=out_direction)
+        if delay is None:
+            continue
+        slew_1090 = result.slew(output, vdd, out_direction)
+        # 10–90% measurement scaled to the full-swing-equivalent
+        # ramp time the QWM tangent-ramp slews report.
+        out_slew = slew_1090 / 0.8 if slew_1090 is not None else None
+        return delay, out_slew
+    return None
 
 
 #: Callback the STA layer hands the ladder: run the normal QWM
@@ -332,56 +398,13 @@ class EscalationLadder:
                    switching_input: str, input_slew: Optional[float],
                    stats: Optional[SimulationStats]
                    ) -> Optional[Tuple[float, Optional[float]]]:
-        """Adaptive-transient evaluation of one arc.
-
-        Mirrors the QWM sensitization loop, but on the full stage
-        equations: the input edge is delayed by ``spice_settle`` so the
-        t=0 DC solve settles to the *pre*-transition state, and the
-        delay is measured from the edge's 50% crossing like the QWM
-        path does.
-        """
-        vdd = stage.vdd
-        rising_in = out_direction == "fall"
-        v0, v1 = (0.0, vdd) if rising_in else (vdd, 0.0)
-        t_edge = self.policy.spice_settle
-        if input_slew:
-            source = RampSource(v0, v1, t_edge, input_slew)
-            t_input = t_edge + 0.5 * input_slew
-        else:
-            source = StepSource(v0, v1, t_edge)
-            t_input = t_edge
-        base_options = self.analyzer.evaluator.options
-        options = AdaptiveOptions(
-            t_stop=t_edge + base_options.t_stop,
+        """Adaptive-transient evaluation of one arc (policy-budgeted)."""
+        return adaptive_spice_arc(
+            self.analyzer, stage, output, out_direction,
+            switching_input, input_slew=input_slew, stats=stats,
+            settle=self.policy.spice_settle,
             max_steps=self.policy.spice_max_steps,
-            max_wall_seconds=self.policy.spice_max_seconds)
-        simulator = AdaptiveTransientSimulator(stage,
-                                               self.analyzer.tech,
-                                               options)
-        for levels in self.analyzer._sensitizations(
-                stage, switching_input, out_direction):
-            inputs: Dict[str, Any] = {switching_input: source}
-            inputs.update({name: ConstantSource(level)
-                           for name, level in levels.items()})
-            result = simulator.run(inputs)
-            if stats is not None:
-                stats.accumulate(result.stats)
-            trace = result.voltages[output]
-            v_start = float(trace[0])
-            if out_direction == "fall" and v_start < 0.55 * vdd:
-                continue
-            if out_direction == "rise" and v_start > 0.45 * vdd:
-                continue
-            delay = result.delay_50(output, vdd, t_input=t_input,
-                                    direction=out_direction)
-            if delay is None:
-                continue
-            slew_1090 = result.slew(output, vdd, out_direction)
-            # 10–90% measurement scaled to the full-swing-equivalent
-            # ramp time the QWM tangent-ramp slews report.
-            out_slew = slew_1090 / 0.8 if slew_1090 is not None else None
-            return delay, out_slew
-        return None
+            max_seconds=self.policy.spice_max_seconds)
 
     # -- bound rung ----------------------------------------------------
     def _bound_arc(self, stage, output: str, out_direction: str,

@@ -1,0 +1,449 @@
+"""Accuracy observatory: sampling determinism, ledgers, the diff gate.
+
+Mirrors the phase-profiler suite: the observatory is process-wide and
+disabled by default, worker deltas merge commutatively, and the
+auditor's records are pure functions of (design, seed, solver config)
+— which the serial-vs-process bit-identity test pins down.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.analysis import accuracy
+from repro.analysis import audit as audit_mod
+from repro.analysis.audit import (
+    ArcSample,
+    analyze_with_audit,
+    audit_arc,
+    collect_candidates,
+    stratified_sample,
+)
+from repro.analysis.accuracy import ComparisonOutcome, compare_delays
+from repro.analysis.golden import (
+    GoldenCase,
+    GoldenRecord,
+    history_cases,
+    check as golden_check,
+)
+from repro.analysis.parallel import ExecutionConfig, canonical_form_for
+from repro.analysis.sta import StaticTimingAnalyzer
+from repro.circuit import builders
+from repro.circuit.stage import extract_stages
+from repro.cli import main
+from repro.obs.accuracy import (
+    AccuracyConfig,
+    AccuracyObservatory,
+    accuracy_regressions,
+    accuracy_region_phase,
+    attribute_regions,
+    capture_regions,
+    configure_accuracy,
+    disable_accuracy,
+    history_entry,
+    note_arc_candidate,
+    note_region,
+    observatory,
+    worst_regression,
+)
+
+
+@pytest.fixture(autouse=True)
+def _observatory_off():
+    """Tests own the process-wide observatory; reset around each."""
+    disable_accuracy()
+    yield
+    disable_accuracy()
+
+
+@pytest.fixture(scope="module")
+def decoder_graph(tech):
+    return extract_stages(builders.decoder_netlist(tech, bits=2),
+                          tech=tech)
+
+
+# ----------------------------------------------------------------------
+# ComparisonOutcome: structured verdicts instead of bare ValueError.
+# ----------------------------------------------------------------------
+class TestComparisonOutcome:
+    def test_ok(self):
+        outcome = compare_delays(1.1e-10, 1.0e-10)
+        assert isinstance(outcome, ComparisonOutcome)
+        assert outcome.ok
+        assert outcome.status == "ok"
+        assert outcome.error_percent == pytest.approx(10.0)
+
+    def test_no_crossing(self):
+        for test, ref in ((None, 1.0e-10), (1.0e-10, None),
+                          (None, None)):
+            outcome = compare_delays(test, ref)
+            assert not outcome.ok
+            assert outcome.status == "no-crossing"
+            assert outcome.error_percent is None
+
+    def test_zero_reference(self):
+        outcome = compare_delays(1.0e-10, 0.0)
+        assert outcome.status == "zero-reference"
+        assert outcome.error_percent is None
+
+    def test_accuracy_percent_still_raises(self):
+        assert accuracy.accuracy_percent(1.01e-10, 1.0e-10) \
+            == pytest.approx(99.0)
+        with pytest.raises(ValueError):
+            accuracy.accuracy_percent(None, 1.0e-10)
+        with pytest.raises(ValueError):
+            accuracy.accuracy_percent(1.0e-10, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Observatory ledger: candidate noting, drain/merge commutativity.
+# ----------------------------------------------------------------------
+class TestObservatoryLedger:
+    def test_disabled_by_default(self):
+        assert not observatory().enabled
+        note_arc_candidate("s", "out", "fall", "a", None)
+        assert observatory().stats()["arcs"] == 0
+
+    def test_note_is_idempotent(self):
+        configure_accuracy(AccuracyConfig(enabled=True))
+        for _ in range(3):
+            note_arc_candidate("s", "out", "fall", "a", 20e-12)
+        assert observatory().stats()["arcs"] == 1
+
+    def _payload(self, variant: int):
+        obs = AccuracyObservatory(AccuracyConfig(enabled=True))
+        obs.note_arc(f"s{variant}", "out", "fall", "a", None)
+        obs.note_arc("shared", "out", "rise", "b", 10e-12)
+        obs.record_audit({"arc": [f"s{variant}", "out", "fall", "a",
+                                  "step"],
+                          "delay_error_pct": float(variant)})
+        return obs.drain()
+
+    def test_merge_is_commutative(self):
+        a, b = self._payload(1), self._payload(2)
+        ab = AccuracyObservatory(AccuracyConfig(enabled=True))
+        ab.merge(a)
+        ab.merge(b)
+        ba = AccuracyObservatory(AccuracyConfig(enabled=True))
+        ba.merge(b)
+        ba.merge(a)
+        assert ab.to_json() == ba.to_json()
+        assert ab.stats()["arcs"] == 3
+
+    def test_drain_resets(self):
+        obs = AccuracyObservatory(AccuracyConfig(enabled=True))
+        obs.note_arc("s", "out", "fall", "a", None)
+        payload = obs.drain()
+        assert payload["arcs"] == [["s", "out", "fall", "a", "step"]]
+        assert obs.stats() == {"arcs": 0, "records": 0, "dropped": 0}
+
+    def test_record_cap_counts_drops(self):
+        obs = AccuracyObservatory(AccuracyConfig(enabled=True,
+                                                 max_records=1))
+        obs.record_audit({"arc": ["a", "o", "fall", "x", "step"]})
+        obs.record_audit({"arc": ["b", "o", "fall", "x", "step"]})
+        assert obs.stats() == {"arcs": 0, "records": 1, "dropped": 1}
+
+
+# ----------------------------------------------------------------------
+# Region capture: residual attribution from a real solve.
+# ----------------------------------------------------------------------
+class TestRegionCapture:
+    def test_capture_on_real_solve(self, tech, evaluator):
+        from repro.spice import ConstantSource, StepSource
+
+        stage = builders.nand_gate(tech, 2)
+        sources = {"a0": StepSource(0.0, tech.vdd, 20e-12),
+                   "a1": ConstantSource(tech.vdd)}
+        with capture_regions() as capture:
+            evaluator.evaluate(stage, "out", "fall", sources,
+                               precharge="dc")
+        assert capture.notes
+        phases = {note["phase"] for note in capture.notes}
+        assert phases <= {"qwm.phase12", "qwm.phase3"}
+        tags = {note["tag"] for note in capture.notes}
+        assert tags <= {"turn_on", "crossing", "time", "region"}
+        for note in capture.notes:
+            assert note["k"] >= 1
+            assert note["residual_norm"] >= 0.0
+            assert note["iterations"] >= 1
+
+    def test_no_capture_is_noop(self, tech, evaluator):
+        # Outside a capture scope the hooks must not accumulate state.
+        note_region("crossing", 2, 1e-12, 3)
+        with accuracy_region_phase("qwm.phase3"):
+            pass
+        with capture_regions() as capture:
+            pass
+        assert capture.notes == []
+
+    def test_attribute_regions_dominant_and_ties(self):
+        notes = [
+            {"phase": "qwm.phase12", "tag": "turn_on", "k": 2,
+             "residual_norm": 1e-12, "iterations": 3},
+            {"phase": "qwm.phase3", "tag": "crossing", "k": 4,
+             "residual_norm": 5e-12, "iterations": 4},
+            {"phase": "qwm.phase3", "tag": "crossing", "k": 3,
+             "residual_norm": 2e-12, "iterations": 2},
+        ]
+        rollup = attribute_regions(notes)
+        assert rollup["dominant"] == "qwm.phase3:crossing"
+        assert rollup["regions"] == 3
+        assert rollup["max_k"] == 4
+        cell = rollup["cells"]["qwm.phase3:crossing"]
+        assert cell["regions"] == 2
+        assert cell["iterations"] == 6
+        # Equal sums tie-break lexicographically (deterministic).
+        tied = attribute_regions([
+            {"phase": "b", "tag": "t", "k": 1, "residual_norm": 1.0,
+             "iterations": 1},
+            {"phase": "a", "tag": "t", "k": 1, "residual_norm": 1.0,
+             "iterations": 1},
+        ])
+        assert tied["dominant"] == "a:t"
+
+    def test_attribute_regions_empty(self):
+        rollup = attribute_regions([])
+        assert rollup["dominant"] is None
+        assert rollup["regions"] == 0
+
+
+# ----------------------------------------------------------------------
+# Sampling: seeded, stratified, deterministic.
+# ----------------------------------------------------------------------
+class TestSampling:
+    def _analyzer(self, tech, library):
+        return StaticTimingAnalyzer(tech, library=library)
+
+    def test_sample_is_deterministic(self, tech, library,
+                                     decoder_graph):
+        analyzer = self._analyzer(tech, library)
+        candidates = collect_candidates(decoder_graph, analyzer)
+        first = stratified_sample(candidates, 6, seed=7)
+        second = stratified_sample(candidates, 6, seed=7)
+        assert [s.key for s in first] == [s.key for s in second]
+        other = stratified_sample(candidates, 6, seed=8)
+        assert [s.key for s in other] != [s.key for s in first]
+
+    def test_sample_stratifies_across_forms(self, tech, library,
+                                            decoder_graph):
+        """Isomorphic word-line stages cannot crowd out unique forms."""
+        analyzer = self._analyzer(tech, library)
+        candidates = collect_candidates(decoder_graph, analyzer)
+        strata = {s.fingerprint for s in candidates}
+        assert len(strata) >= 2
+        picked = stratified_sample(candidates, len(strata), seed=0)
+        assert {s.fingerprint for s in picked} == strata
+
+    def test_sample_exhausts_gracefully(self, tech, library,
+                                        decoder_graph):
+        analyzer = self._analyzer(tech, library)
+        candidates = collect_candidates(decoder_graph, analyzer)
+        picked = stratified_sample(candidates, 10 ** 6, seed=0)
+        assert len(picked) == len(candidates)
+        assert len({s.key for s in picked}) == len(candidates)
+
+
+# ----------------------------------------------------------------------
+# The auditor: backend bit-identity, graceful degradation.
+# ----------------------------------------------------------------------
+class TestAuditor:
+    def test_serial_and_process_records_bit_identical(
+            self, tech, library, decoder_graph):
+        def run(backend):
+            execution = (None if backend == "serial"
+                         else ExecutionConfig(workers=2,
+                                              backend=backend))
+            analyzer = StaticTimingAnalyzer(tech, library=library,
+                                            execution=execution)
+            result, report = analyze_with_audit(
+                analyzer, decoder_graph, 3, seed=3)
+            return result, report
+
+        serial_result, serial_report = run("serial")
+        process_result, process_report = run("process")
+        assert json.dumps(serial_report.to_json(), sort_keys=True) \
+            == json.dumps(process_report.to_json(), sort_keys=True)
+        assert serial_result.audit == process_result.audit
+        assert serial_report.records
+        for record in serial_report.records:
+            assert record["status"] == "ok"
+            assert record["delay_error_pct"] is not None
+            assert record["attribution"]["dominant"] is not None
+
+    def test_no_crossing_degrades_gracefully(self, tech, library,
+                                             decoder_graph,
+                                             monkeypatch):
+        monkeypatch.setattr(audit_mod, "adaptive_spice_arc",
+                            lambda *args, **kwargs: None)
+        analyzer = StaticTimingAnalyzer(tech, library=library)
+        stage = decoder_graph.stages[0]
+        sample = ArcSample(
+            stage=stage.name, output=stage.outputs[0].name,
+            direction="fall",
+            switching_input=sorted(stage.inputs)[0], input_slew=None,
+            fingerprint="x")
+        record = audit_arc(analyzer, stage, sample)
+        assert record["status"] == "no-crossing"
+        assert record["delay_error_pct"] is None
+        assert record["margin_to_band_pct"] is None
+
+    def test_observatory_restored_after_audit(self, tech, library,
+                                              decoder_graph):
+        assert not observatory().enabled
+        analyzer = StaticTimingAnalyzer(tech, library=library)
+        result, report = analyze_with_audit(analyzer, decoder_graph, 1,
+                                            seed=0)
+        assert not observatory().enabled
+        assert result.audit["summary"]["arcs_audited"] == 1
+        assert result.audit["summary"]["candidates"] > 1
+
+
+# ----------------------------------------------------------------------
+# History ledger + the accuracy-diff gate.
+# ----------------------------------------------------------------------
+class TestHistoryAndDiff:
+    def _cases(self, errors):
+        return {name: {"delay_error_pct": err,
+                       "margin_to_band_pct": 10.0 - err,
+                       "attribution": "qwm.phase3:crossing"}
+                for name, err in errors.items()}
+
+    def test_history_entry_summary(self):
+        entry = history_entry("golden",
+                              self._cases({"a": 1.0, "b": 8.0}),
+                              git_sha="abc")
+        assert entry["format"] == "repro-accuracy-history/1"
+        assert entry["summary"]["worst_case"] == "b"
+        assert entry["summary"]["mean_delay_error_pct"] \
+            == pytest.approx(4.5)
+        assert "timestamp" not in entry
+        assert "timestamp_unix" not in entry
+
+    def test_regressions_are_direction_aware(self):
+        prev = history_entry("golden",
+                             self._cases({"a": 5.0, "b": 5.0}))
+        last = history_entry("golden",
+                             self._cases({"a": 8.0, "b": 2.0}))
+        rows = accuracy_regressions(prev, last, threshold_pp=1.0)
+        by_case = {row["case"]: row for row in rows}
+        assert by_case["a"]["regression"]
+        assert not by_case["b"]["regression"]  # improvement never flags
+        worst = worst_regression(rows)
+        assert worst["case"] == "a"
+        assert worst["drift_pp"] == pytest.approx(3.0)
+
+    def test_leaving_band_flags_even_below_threshold(self):
+        prev = history_entry("golden", self._cases({"a": 9.8}))
+        last = history_entry("golden", self._cases({"a": 10.3}))
+        rows = accuracy_regressions(prev, last, threshold_pp=1.0)
+        assert rows[0]["left_band"]
+        assert rows[0]["regression"]
+
+    def test_accuracy_diff_cli_gate(self, tmp_path, capsys):
+        path = tmp_path / "ACCURACY_history.jsonl"
+        prev = history_entry("golden",
+                             self._cases({"inv_fall_a_s0p_l2f": 2.0,
+                                          "nand2_fall_a0_s0p_l2f": 3.0}),
+                             git_sha="old")
+        last = history_entry("golden",
+                             self._cases({"inv_fall_a_s0p_l2f": 6.5,
+                                          "nand2_fall_a0_s0p_l2f": 3.1}),
+                             git_sha="new")
+        with open(path, "w") as handle:
+            for entry in (prev, last):
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        code = main(["accuracy-diff", "--history", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "worst: inv_fall_a_s0p_l2f" in out
+        assert "qwm.phase3:crossing" in out
+        assert "DRIFT" in out
+
+    def test_accuracy_diff_cli_clean(self, tmp_path, capsys):
+        path = tmp_path / "ACCURACY_history.jsonl"
+        entry = history_entry("golden", self._cases({"a": 2.0}))
+        with open(path, "w") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        assert main(["accuracy-diff", "--history", str(path)]) == 0
+        assert "no accuracy drift" in capsys.readouterr().out
+
+    def test_accuracy_diff_missing_history(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["accuracy-diff", "--history", str(missing)]) == 0
+
+
+# ----------------------------------------------------------------------
+# Golden integration: margins, attribution, ledger shape.
+# ----------------------------------------------------------------------
+class TestGoldenIntegration:
+    def _record(self, tech):
+        case = GoldenCase(circuit="inv", direction="fall",
+                         switching_input="a", held=None,
+                         input_slew=0.0, load=2e-15)
+        from repro.analysis.golden import spice_measure
+
+        delay, slew = spice_measure(case, tech)
+        return GoldenRecord(case=case, spice_delay=delay,
+                            spice_slew=slew, qwm_delay=delay,
+                            qwm_slew=slew)
+
+    def test_margin_in_record_json(self, tech):
+        record = self._record(tech)
+        payload = record.to_json()
+        assert payload["margin_to_band_pct"] \
+            == pytest.approx(10.0 - payload["delay_error_pct"])
+
+    def test_check_attaches_attribution(self, tech, evaluator):
+        record = self._record(tech)
+        diffs = golden_check([record], tech, evaluator)
+        assert len(diffs) == 1
+        assert diffs[0].attribution is not None
+        assert diffs[0].attribution["regions"] > 0
+        assert diffs[0].margin_to_band_pct \
+            == pytest.approx(10.0 - diffs[0].delay_error_pct)
+        cases = history_cases(diffs)
+        section = cases[record.case.name]
+        assert section["delay_error_pct"] \
+            == pytest.approx(diffs[0].delay_error_pct)
+        assert section["attribution"] \
+            == diffs[0].attribution["dominant"]
+
+
+# ----------------------------------------------------------------------
+# Cost: the disabled observatory must be invisible.
+# ----------------------------------------------------------------------
+def test_disabled_overhead_under_one_percent(tech, evaluator):
+    """Disabled accuracy hooks cost < 1% of a NAND3 solve.
+
+    Arithmetic-budget style like the profiler's gate: per-call cost of
+    the disabled hooks times a generous over-estimate of hook sites
+    per solve, against the solve's own wall time.
+    """
+    from repro.spice import ConstantSource, StepSource
+
+    n_calls = 20000
+    start = time.perf_counter()
+    for _ in range(n_calls):
+        note_arc_candidate("s", "out", "fall", "a", None)
+        note_region("crossing", 2, 1e-12, 3)
+        with accuracy_region_phase("qwm.phase12"):
+            pass
+    per_op = (time.perf_counter() - start) / n_calls
+
+    stage = builders.nand_gate(tech, 3)
+    sources = {"a0": StepSource(0.0, tech.vdd, 0.0)}
+    for name in stage.inputs:
+        sources.setdefault(name, ConstantSource(tech.vdd))
+    solution = evaluator.evaluate(stage, output="out",
+                                  direction="fall", inputs=sources)
+    stats = solution.stats
+    # Hook sites: one arc note, one note_region + one phase context per
+    # region solved — then doubled for margin.
+    ops = 2 * (2 * stats.steps + 2)
+    overhead = ops * per_op
+    assert overhead < 0.01 * stats.wall_time + 1e-4, (
+        f"disabled accuracy-hook overhead {overhead * 1e6:.1f}us vs "
+        f"solve {stats.wall_time * 1e6:.1f}us")

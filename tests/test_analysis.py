@@ -73,14 +73,20 @@ class TestMeasureSlew:
 
 class TestAccuracy:
     def test_compare_delays(self):
-        assert compare_delays(1.1e-10, 1.0e-10) == pytest.approx(10.0)
-        assert compare_delays(0.9e-10, 1.0e-10) == pytest.approx(10.0)
+        outcome = compare_delays(1.1e-10, 1.0e-10)
+        assert outcome.ok and outcome.status == "ok"
+        assert outcome.error_percent == pytest.approx(10.0)
+        assert compare_delays(0.9e-10, 1.0e-10).error_percent \
+            == pytest.approx(10.0)
 
-    def test_compare_rejects_missing(self):
-        with pytest.raises(ValueError):
-            compare_delays(None, 1.0)
-        with pytest.raises(ValueError):
-            compare_delays(1.0, 0.0)
+    def test_compare_degrades_on_odd_inputs(self):
+        missing = compare_delays(None, 1.0)
+        assert not missing.ok
+        assert missing.status == "no-crossing"
+        assert missing.error_percent is None
+        zero = compare_delays(1.0, 0.0)
+        assert zero.status == "zero-reference"
+        assert zero.error_percent is None
 
     def test_accuracy_percent(self):
         assert accuracy_percent(1.01e-10, 1.0e-10) == pytest.approx(99.0)
