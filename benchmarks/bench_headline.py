@@ -114,6 +114,14 @@ def test_headline_aggregate(benchmark, tech, evaluator):
             inc("resilience.arc.quality", 0, quality=quality)
             if quality != QUALITY_ORDER[-1]:
                 inc("resilience.escalations", 0, rung=quality)
+        # Same treatment for the run-durability series: a clean bench
+        # run pins the budget/journal counters at explicit zeros so any
+        # clamped or journal-degraded run diffs against them.
+        for level in ("no-spice", "bound"):
+            inc("resilience.budget.clamped_stages", 0, level=level)
+            inc("resilience.budget.clamped_arcs", 0, level=level)
+        inc("resilience.journal.write_errors", 0)
+        inc("resilience.journal.replayed_waves", 0)
         phases = (phase_self_seconds(profiler().to_json())
                   if profiler().enabled else None)
         # BENCH_ACCURACY=1: embed the per-circuit error section into

@@ -33,14 +33,17 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import signal
 import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
                                 Executor, ProcessPoolExecutor,
                                 ThreadPoolExecutor, wait)
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import (Callable, Dict, FrozenSet, Iterator, List, Optional,
+                    Set, Tuple)
 
 from repro.analysis.sta import (ArcFn, ArrivalTime, Event, StaResult,
                                 StaticTimingAnalyzer,
@@ -53,6 +56,10 @@ from repro.obs.accuracy import observatory
 from repro.obs.flight import flight
 from repro.obs.profile import profile_add, profiler
 from repro.resilience import faults
+from repro.resilience.budget import (CLAMP_FULL, AdmissionController,
+                                     RunBudget)
+from repro.resilience.journal import (JournalError, RunJournal,
+                                      run_fingerprint)
 from repro.spice.results import SimulationStats
 
 BACKENDS = ("serial", "thread", "process")
@@ -97,6 +104,21 @@ class ExecutionConfig:
             re-dispatched into the main process; None disables the
             watchdog (the default — polling costs a wake-up every
             quarter-timeout).
+        deadline: optional run-level wall-clock budget [s].  An
+            admission controller clamps the escalation ladder per wave
+            (full → no-spice → bound) so the run finishes inside
+            deadline+grace with honest quality tags (see
+            :mod:`repro.resilience.budget`).
+        grace: optional explicit grace allowance [s] for the wave in
+            flight at the deadline; defaults to ``max(0.5, 0.1 *
+            deadline)``.
+        journal_path: optional crash-safe run journal (JSONL, format
+            ``repro-run-journal/1``); each completed wave's arrival
+            deltas checkpoint atomically (see
+            :mod:`repro.resilience.journal`).
+        resume: replay completed waves from ``journal_path`` before
+            running the rest; requires ``journal_path``.  Arrivals are
+            bit-identical to an uninterrupted run.
     """
 
     workers: int = 1
@@ -106,6 +128,10 @@ class ExecutionConfig:
     cache_path: Optional[str] = None
     cache_slew_bucket: Optional[float] = None
     stage_timeout: Optional[float] = None
+    deadline: Optional[float] = None
+    grace: Optional[float] = None
+    journal_path: Optional[str] = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -120,6 +146,12 @@ class ExecutionConfig:
             raise ValueError("cache_slew_bucket must be positive")
         if self.stage_timeout is not None and self.stage_timeout <= 0:
             raise ValueError("stage_timeout must be positive or None")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive or None")
+        if self.grace is not None and self.grace <= 0:
+            raise ValueError("grace must be positive or None")
+        if self.resume and self.journal_path is None:
+            raise ValueError("resume requires journal_path")
 
     @property
     def wants_cache(self) -> bool:
@@ -359,17 +391,37 @@ class StageResultCache:
             self.put(key, value)
 
     # ------------------------------------------------------------------
-    def _quarantine(self, path: str) -> None:
+    def _quarantine(self, path: str, reason: str = "parse") -> None:
         """Move a corrupt store aside so it never crashes a run again.
 
         The original bytes are preserved (``<path>.corrupt``) for
         post-mortem; the analysis proceeds with a cold cache.
         """
-        inc("cache.store_corrupt", reason="parse")
+        inc("cache.store_corrupt", reason=reason)
         try:
             os.replace(path, path + ".corrupt")
         except OSError:
             pass
+
+    @staticmethod
+    def _parse_store(document: object
+                     ) -> List[Tuple[CacheKey, CachedArc]]:
+        """Entries of a well-formed store document (raises otherwise)."""
+        if not isinstance(document, dict) \
+                or not isinstance(document.get("entries", {}), dict):
+            raise ValueError("malformed store document")
+        parsed: List[Tuple[CacheKey, CachedArc]] = []
+        for joined, value in document.get("entries", {}).items():
+            fingerprint, _, arc = joined.partition("/")
+            cached: CachedArc = None
+            if value is not None:
+                delay, out_slew = value[0], value[1]
+                quality = value[2] if len(value) > 2 else None
+                cached = (float(delay),
+                          None if out_slew is None else float(out_slew),
+                          None if quality is None else str(quality))
+            parsed.append(((fingerprint, arc), cached))
+        return parsed
 
     def load(self, path: str) -> int:
         """Load a JSON store (merging into the LRU); returns entry count.
@@ -378,30 +430,19 @@ class StageResultCache:
         mid-write, a bad copy) is a *cache miss*, not a fatal error —
         the file is quarantined to ``<path>.corrupt``, the
         ``cache.store_corrupt`` counter increments, and 0 entries
-        load.  A store written by a different format version is
-        ignored (counted, not quarantined — it is valid, just stale).
+        load.  A store stamped with a different schema version
+        quarantines the same way (its key layout or value tuple may
+        not mean what this code assumes — treating it as data risks
+        silently wrong arrivals).
         """
-        loaded: List[Tuple[CacheKey, CachedArc]] = []
         try:
             with open(path) as handle:
                 document = json.load(handle)
-            if not isinstance(document, dict) \
-                    or not isinstance(document.get("entries", {}), dict):
-                raise ValueError("malformed store document")
-            if document.get("version") != self.VERSION:
-                inc("cache.store_corrupt", reason="version")
+            if isinstance(document, dict) \
+                    and document.get("version") != self.VERSION:
+                self._quarantine(path, reason="version")
                 return 0
-            for joined, value in document.get("entries", {}).items():
-                fingerprint, _, arc = joined.partition("/")
-                cached: CachedArc = None
-                if value is not None:
-                    delay, out_slew = value[0], value[1]
-                    quality = value[2] if len(value) > 2 else None
-                    cached = (float(delay),
-                              None if out_slew is None
-                              else float(out_slew),
-                              None if quality is None else str(quality))
-                loaded.append(((fingerprint, arc), cached))
+            loaded = self._parse_store(document)
         except (json.JSONDecodeError, UnicodeDecodeError, ValueError,
                 TypeError, IndexError, KeyError):
             self._quarantine(path)
@@ -410,8 +451,38 @@ class StageResultCache:
             self.put(key, cached)
         return len(loaded)
 
+    @staticmethod
+    @contextmanager
+    def _store_lock(target: str) -> Iterator[None]:
+        """Advisory file lock serializing multi-process store writes.
+
+        Best-effort: on platforms without ``fcntl`` the lock degrades
+        to a no-op (the atomic rename still guarantees readers never
+        see a torn file — the lock only prevents concurrent writers
+        from losing each other's entries).
+        """
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX
+            yield
+            return
+        lock_path = target + ".lock"
+        with open(lock_path, "w") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
     def save(self, path: Optional[str] = None) -> str:
-        """Write the JSON store (defaults to the construction path)."""
+        """Write the JSON store (defaults to the construction path).
+
+        Multi-process safe: the write happens under an advisory file
+        lock, merges any valid entries another process persisted since
+        our load (ours win on conflict), and lands via an atomic
+        tmp-file + fsync + rename — a reader or a crash mid-save sees
+        either the old store or the new one, never a torn file.
+        """
         target = path or self.path
         if target is None:
             raise ValueError("no store path configured")
@@ -421,11 +492,32 @@ class StageResultCache:
                                              (value[2] if len(value) > 2
                                               else None)])
                        for (fp, arc), value in self._data.items()}
-        document = {"version": self.VERSION, "entries": entries}
         directory = os.path.dirname(os.path.abspath(target))
         os.makedirs(directory, exist_ok=True)
-        with open(target, "w") as handle:
-            json.dump(document, handle, indent=1, sort_keys=True)
+        with self._store_lock(target):
+            if os.path.exists(target):
+                try:
+                    with open(target) as handle:
+                        document = json.load(handle)
+                    if isinstance(document, dict) \
+                            and document.get("version") == self.VERSION:
+                        for (fp, arc), cached in \
+                                self._parse_store(document):
+                            entries.setdefault(
+                                f"{fp}/{arc}",
+                                None if cached is None
+                                else [cached[0], cached[1], cached[2]])
+                except (json.JSONDecodeError, UnicodeDecodeError,
+                        ValueError, TypeError, IndexError, KeyError,
+                        OSError):
+                    pass
+            document = {"version": self.VERSION, "entries": entries}
+            tmp = target + ".tmp"
+            with open(tmp, "w") as handle:
+                json.dump(document, handle, indent=1, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, target)
         return target
 
 
@@ -474,13 +566,18 @@ def _evaluate_stage(analyzer: StaticTimingAnalyzer, stage: LogicStage,
                     snapshot: Dict[Event, ArrivalTime],
                     cache: Optional[StageResultCache],
                     form: Optional[CanonicalForm],
-                    bucket: Optional[float]
+                    bucket: Optional[float],
+                    clamp: Optional[str] = None
                     ) -> Tuple[Dict[Event, ArrivalTime],
                                SimulationStats]:
     """One stage task: arrivals for the stage's output events + cost.
 
     All QWM cost is folded into a task-local accumulator, so thread
-    workers never touch shared mutable state.
+    workers never touch shared mutable state.  A non-None ``clamp``
+    (admission control under deadline pressure) degrades the arc math;
+    clamped results may *read* the cache but are never stored — a
+    deadline-starved run must not poison the shared cache with
+    bounded arcs a later unconstrained run would then reuse.
     """
     stats = SimulationStats()
 
@@ -489,11 +586,14 @@ def _evaluate_stage(analyzer: StaticTimingAnalyzer, stage: LogicStage,
              ) -> CachedArc:
         return analyzer.stage_arc(stage_, output, out_direction,
                                   switching_input,
-                                  input_slew=input_slew, stats=stats)
+                                  input_slew=input_slew, stats=stats,
+                                  clamp=clamp)
 
     arc_fn: ArcFn = base
     if cache is not None and form is not None:
-        arc_fn = _cached_arc_fn(base, form, cache.get, cache.put,
+        cache_put = (cache.put if clamp is None
+                     else lambda key, value: None)
+        arc_fn = _cached_arc_fn(base, form, cache.get, cache_put,
                                 bucket)
     computed = compute_stage_arrivals(stage, snapshot, arc_fn,
                                       analyzer.propagate_slews,
@@ -551,14 +651,17 @@ def _process_stage_task(stage: LogicStage,
                         snapshot: Dict[Event, ArrivalTime],
                         form: Optional[CanonicalForm],
                         shipped: Optional[Dict[CacheKey, CachedArc]],
-                        bucket: Optional[float]):
+                        bucket: Optional[float],
+                        clamp: Optional[str] = None):
     """Worker-process task: evaluate one stage against shipped cache.
 
     Returns (arrivals, stats, new cache entries, shipped-entry hits,
     drained profile ledger or None, drained accuracy ledger or None);
     the parent merges the new entries into the shared cache so later
     dispatches of equal configurations hit, and merges the ledgers
-    into the parent profiler / accuracy observatory.
+    into the parent profiler / accuracy observatory.  Clamped arcs
+    (deadline pressure) never enter ``new_entries`` — degraded
+    results must not poison the shared cache.
     """
     analyzer = _WORKER_ANALYZER
     assert analyzer is not None, "worker pool initializer did not run"
@@ -570,7 +673,8 @@ def _process_stage_task(stage: LogicStage,
     def base(stage_, output, out_direction, switching_input, input_slew):
         return analyzer.stage_arc(stage_, output, out_direction,
                                   switching_input,
-                                  input_slew=input_slew, stats=stats)
+                                  input_slew=input_slew, stats=stats,
+                                  clamp=clamp)
 
     arc_fn: ArcFn = base
     if shipped is not None and form is not None:
@@ -583,7 +687,8 @@ def _process_stage_task(stage: LogicStage,
 
         def cache_put(key: CacheKey, value: CachedArc) -> None:
             shipped[key] = value
-            new_entries[key] = value
+            if clamp is None:
+                new_entries[key] = value
 
         arc_fn = _cached_arc_fn(base, form, cache_get, cache_put,
                                 bucket)
@@ -622,6 +727,10 @@ class ParallelStaEngine:
             cache = StageResultCache(max_entries=config.cache_size,
                                      path=config.cache_path)
         self.cache = cache
+        # Set by the SIGINT/SIGTERM handlers (and tests); the schedulers
+        # stop dispatching at the next stage boundary, the last flushed
+        # journal checkpoint stands, and run() returns a partial result.
+        self._interrupt = threading.Event()
 
     # ------------------------------------------------------------------
     def run(self, graph: StageGraph,
@@ -629,6 +738,7 @@ class ParallelStaEngine:
             ) -> StaResult:
         """Run STA over the graph; arrivals match the serial engine."""
         analyzer = self.analyzer
+        config = self.config
         primary_slew = (analyzer.input_slew
                         if analyzer.propagate_slews else None)
         arrivals, driven = primary_input_arrivals(
@@ -644,22 +754,138 @@ class ParallelStaEngine:
             forms[stage.name] = (canonical_form_for(stage, analyzer)
                                  if self.cache is not None else None)
 
-        if self.config.backend == "serial" or self.config.workers == 1 \
-                or len(order) <= 1:
-            stats_by_stage = self._run_serial(order, arrivals, waves,
-                                              forms)
-        else:
-            stats_by_stage = self._run_pooled(graph, order, arrivals,
-                                              waves, forms)
+        controller: Optional[AdmissionController] = None
+        if config.deadline is not None:
+            parallelism = (config.workers
+                           if config.backend != "serial" else 1)
+            controller = AdmissionController(
+                RunBudget(config.deadline, config.grace),
+                parallelism=parallelism)
+
+        journal, done, replayed_stats, resumed = self._prepare_journal(
+            graph, order, waves, arrivals, input_arrivals)
+
+        self._interrupt.clear()
+        with self._signal_guard(controller is not None
+                                or journal is not None):
+            if config.backend == "serial" or config.workers == 1 \
+                    or len(order) <= 1:
+                stats_by_stage = self._run_serial(
+                    order, arrivals, waves, forms,
+                    controller=controller, journal=journal, done=done)
+            else:
+                stats_by_stage = self._run_pooled(
+                    graph, order, arrivals, waves, forms,
+                    controller=controller, journal=journal, done=done)
 
         stats = SimulationStats()
+        stats.accumulate(replayed_stats)
         for stage in order:
-            stats.accumulate(stats_by_stage[stage.name])
+            if stage.name in stats_by_stage:
+                stats.accumulate(stats_by_stage[stage.name])
         result = finalize_result(arrivals, driven)
         result.stats = stats
+        result.partial = (len(done) + len(stats_by_stage)) < len(order)
+        result.resumed_waves = resumed
+        if controller is not None:
+            result.budget = controller.summary()
+        if journal is not None:
+            result.journal = {
+                "path": journal.path,
+                "waves": len(journal.segments),
+                "replayed": resumed,
+                "disabled": journal.disabled,
+                "dropped_lines": journal.dropped_lines,
+            }
         if self.cache is not None and self.config.cache_path is not None:
             self.cache.save(self.config.cache_path)
         return result
+
+    # ------------------------------------------------------------------
+    def _prepare_journal(self, graph: StageGraph,
+                         order: List[LogicStage],
+                         waves: Dict[str, int],
+                         arrivals: Dict[Event, ArrivalTime],
+                         input_arrivals: Optional[Dict[Event, float]]
+                         ) -> Tuple[Optional[RunJournal],
+                                    FrozenSet[str],
+                                    SimulationStats, int]:
+        """Open (and on ``resume`` replay) the configured run journal.
+
+        Returns ``(journal, completed stage names, replayed stats,
+        replayed wave count)``.  A corrupt journal starts fresh
+        (counted in ``resilience.journal.corrupt``); a fingerprint
+        mismatch raises — resuming someone else's run would silently
+        corrupt arrivals.
+        """
+        config = self.config
+        if config.journal_path is None:
+            return None, frozenset(), SimulationStats(), 0
+        fingerprint = run_fingerprint(graph, self.analyzer,
+                                      input_arrivals)
+        n_waves = (max(waves.values()) + 1) if waves else 0
+        fresh = RunJournal(config.journal_path, fingerprint,
+                           design=graph.name, stages=len(order),
+                           waves=n_waves)
+        if not config.resume or not os.path.exists(config.journal_path):
+            fresh.flush()
+            return fresh, frozenset(), SimulationStats(), 0
+        try:
+            journal = RunJournal.load(config.journal_path)
+        except JournalError:
+            inc("resilience.journal.corrupt")
+            fresh.flush()
+            return fresh, frozenset(), SimulationStats(), 0
+        journal.require_fingerprint(fingerprint)
+        journal.design = graph.name
+        journal.stages = len(order)
+        journal.waves = n_waves
+        names = {stage.name for stage in order}
+        done: Set[str] = set()
+        replayed_stats = SimulationStats()
+        replayed = 0
+        for _, stage_names, deltas, seg_stats in journal.replay():
+            arrivals.update(deltas)
+            done.update(name for name in stage_names if name in names)
+            replayed_stats.accumulate(seg_stats)
+            replayed += 1
+        if replayed:
+            inc("resilience.journal.replayed_waves", replayed)
+        return journal, frozenset(done), replayed_stats, replayed
+
+    @contextmanager
+    def _signal_guard(self, enabled: bool) -> Iterator[None]:
+        """SIGINT/SIGTERM → graceful stop, for budgeted/journaled runs.
+
+        The handler only sets :attr:`_interrupt`; the schedulers stop
+        at the next stage boundary, so the final journal checkpoint is
+        never torn and run() returns a partial, quality-tagged result
+        instead of dying mid-write.  No-op off the main thread or when
+        neither a budget nor a journal is configured (plain runs keep
+        the default KeyboardInterrupt behavior).
+        """
+        if not enabled or threading.current_thread() \
+                is not threading.main_thread():
+            yield
+            return
+        previous: Dict[int, object] = {}
+
+        def handler(signum, frame):  # pragma: no cover - signal path
+            self._interrupt.set()
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        try:
+            yield
+        finally:
+            for signum, old in previous.items():
+                try:
+                    signal.signal(signum, old)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -677,19 +903,63 @@ class ParallelStaEngine:
     def _run_serial(self, order: List[LogicStage],
                     arrivals: Dict[Event, ArrivalTime],
                     waves: Dict[str, int],
-                    forms: Dict[str, Optional[CanonicalForm]]
+                    forms: Dict[str, Optional[CanonicalForm]],
+                    controller: Optional[AdmissionController] = None,
+                    journal: Optional[RunJournal] = None,
+                    done: FrozenSet[str] = frozenset()
                     ) -> Dict[str, SimulationStats]:
         stats_by_stage: Dict[str, SimulationStats] = {}
+        remaining = sum(1 for stage in order
+                        if stage.name not in done)
+        # Per-wave journal accumulation: a wave checkpoints when its
+        # last not-yet-done stage merges (waves whose segment was
+        # replayed never re-record — record_wave is idempotent).
+        wave_pending: Dict[int, int] = {}
+        wave_deltas: Dict[int, Dict[Event, ArrivalTime]] = {}
+        wave_stats: Dict[int, SimulationStats] = {}
+        wave_names: Dict[int, List[str]] = {}
+        if journal is not None:
+            for stage in order:
+                if stage.name in done:
+                    continue
+                wave = waves[stage.name]
+                wave_pending[wave] = wave_pending.get(wave, 0) + 1
         for stage in order:
+            if stage.name in done:
+                continue
+            if self._interrupt.is_set():
+                inc("sta.parallel.interrupted", backend="serial")
+                break
+            clamp: Optional[str] = None
+            if controller is not None:
+                level = controller.admit(waves[stage.name], remaining)
+                clamp = None if level == CLAMP_FULL else level
+            started = time.perf_counter()
             inc("sta.parallel.dispatch", backend="serial")
             with span("sta.stage.task", stage=stage.name,
                       wave=waves[stage.name]):
                 computed, stats = _evaluate_stage(
                     self.analyzer, stage, arrivals, self.cache,
                     forms[stage.name],
-                    self.config.cache_slew_bucket)
+                    self.config.cache_slew_bucket, clamp=clamp)
             arrivals.update(computed)
             stats_by_stage[stage.name] = stats
+            remaining -= 1
+            if controller is not None:
+                elapsed = time.perf_counter() - started
+                controller.note_stage_cost(elapsed)
+            if journal is not None:
+                wave = waves[stage.name]
+                wave_deltas.setdefault(wave, {}).update(computed)
+                wave_stats.setdefault(
+                    wave, SimulationStats()).accumulate(stats)
+                wave_names.setdefault(wave, []).append(stage.name)
+                wave_pending[wave] -= 1
+                if wave_pending[wave] == 0:
+                    if journal.record_wave(wave, wave_names[wave],
+                                           wave_deltas[wave],
+                                           wave_stats[wave]):
+                        faults.wave_gate(wave)
         return stats_by_stage
 
     def _make_executor(self) -> Executor:
@@ -710,7 +980,10 @@ class ParallelStaEngine:
     def _run_pooled(self, graph: StageGraph, order: List[LogicStage],
                     arrivals: Dict[Event, ArrivalTime],
                     waves: Dict[str, int],
-                    forms: Dict[str, Optional[CanonicalForm]]
+                    forms: Dict[str, Optional[CanonicalForm]],
+                    controller: Optional[AdmissionController] = None,
+                    journal: Optional[RunJournal] = None,
+                    done: FrozenSet[str] = frozenset()
                     ) -> Dict[str, SimulationStats]:
         """Dependency-counting dispatch onto a worker pool.
 
@@ -718,12 +991,16 @@ class ParallelStaEngine:
         there is no per-level barrier, so a deep narrow cone and a wide
         shallow one overlap freely.  The main thread owns ``arrivals``
         and the cache merge; workers only ever see immutable snapshots.
+        Stages in ``done`` (replayed from a run journal) are never
+        dispatched and never count as dependencies.
 
         Worker failures degrade, they do not kill the run:
 
-        * a *dead pool* (a worker segfaulted / was OOM-killed) drains
-          every in-flight stage into the main process, pins those
-          stages serial, and rebuilds the pool for the rest;
+        * a *dead pool* (a worker segfaulted / was OOM-killed) re-runs
+          only the stage whose future surfaced the breakage in the main
+          process (pinned serial thereafter — a deterministic crasher
+          must not kill the replacement pool too), rebuilds the pool,
+          and resubmits the other in-flight stages to it;
         * an ordinary *task exception* gets one serial retry in the
           main process (a deterministic bug then re-raises there, with
           a real traceback);
@@ -731,28 +1008,35 @@ class ParallelStaEngine:
           watchdog is abandoned (its worker may be hung) and the stage
           is re-dispatched serially.
 
-        Each recovery increments ``sta.parallel.redispatch`` and — when
-        the flight recorder is on — records an ``escalation`` event
-        with ``from_rung="worker"``.
+        Each main-process recovery increments
+        ``sta.parallel.redispatch``; surviving stages resubmitted to a
+        rebuilt pool count under ``sta.parallel.resubmit``.  When the
+        flight recorder is on, recoveries record an ``escalation``
+        event with ``from_rung="worker"``.
         """
         analyzer = self.analyzer
         config = self.config
-        stage_names = {stage.name for stage in order}
+        active = [stage for stage in order if stage.name not in done]
+        stage_names = {stage.name for stage in active}
         indegree: Dict[str, int] = {}
-        for stage in order:
+        for stage in active:
             preds = [p for p in graph.graph.predecessors(stage.name)
                      if p != stage.name and p in stage_names]
             indegree[stage.name] = len(preds)
-        by_name = {stage.name: stage for stage in order}
+        by_name = {stage.name: stage for stage in active}
         stats_by_stage: Dict[str, SimulationStats] = {}
 
         # Per-wave spans: a wave's span opens when its first stage is
-        # dispatched and closes when its last stage merges.
+        # dispatched and closes when its last stage merges.  The same
+        # pending counts drive the journal checkpoints.
         wave_pending: Dict[int, int] = {}
-        for name in waves:
-            wave_pending[waves[name]] = wave_pending.get(waves[name],
-                                                         0) + 1
+        for stage in active:
+            wave = waves[stage.name]
+            wave_pending[wave] = wave_pending.get(wave, 0) + 1
         wave_spans: Dict[int, object] = {}
+        wave_deltas: Dict[int, Dict[Event, ArrivalTime]] = {}
+        wave_stats: Dict[int, SimulationStats] = {}
+        wave_names: Dict[int, List[str]] = {}
 
         executor = self._make_executor()
         futures: Dict[object, LogicStage] = {}
@@ -761,15 +1045,35 @@ class ParallelStaEngine:
         retried: Set[str] = set()
         abandoned_workers = False
 
+        def admit_clamp(stage: LogicStage) -> Optional[str]:
+            if controller is None:
+                return None
+            remaining = len(active) - len(stats_by_stage)
+            level = controller.admit(waves[stage.name], remaining)
+            return None if level == CLAMP_FULL else level
+
         def complete(stage: LogicStage,
                      computed: Dict[Event, ArrivalTime],
                      stats: SimulationStats) -> None:
             arrivals.update(computed)
             stats_by_stage[stage.name] = stats
+            if controller is not None:
+                controller.note_stage_cost(stats.wall_time)
             wave = waves[stage.name]
+            if journal is not None:
+                wave_deltas.setdefault(wave, {}).update(computed)
+                wave_stats.setdefault(
+                    wave, SimulationStats()).accumulate(stats)
+                wave_names.setdefault(wave, []).append(stage.name)
             wave_pending[wave] -= 1
-            if wave_pending[wave] == 0 and wave in wave_spans:
-                wave_spans.pop(wave).__exit__(None, None, None)
+            if wave_pending[wave] == 0:
+                if wave in wave_spans:
+                    wave_spans.pop(wave).__exit__(None, None, None)
+                if journal is not None:
+                    if journal.record_wave(wave, wave_names[wave],
+                                           wave_deltas[wave],
+                                           wave_stats[wave]):
+                        faults.wave_gate(wave)
             for successor in graph.graph.successors(stage.name):
                 if successor == stage.name \
                         or successor not in indegree:
@@ -778,7 +1082,8 @@ class ParallelStaEngine:
                 if indegree[successor] == 0:
                     submit(by_name[successor])
 
-        def run_in_parent(stage: LogicStage, reason: str) -> None:
+        def run_in_parent(stage: LogicStage, reason: str,
+                          clamp: Optional[str] = None) -> None:
             """Serial re-dispatch: same arc math, main process."""
             inc("sta.parallel.redispatch", reason=reason)
             fl = flight()
@@ -790,26 +1095,30 @@ class ParallelStaEngine:
                       wave=waves[stage.name], redispatch=reason):
                 computed, stats = _evaluate_stage(
                     analyzer, stage, arrivals, self.cache,
-                    forms[stage.name], config.cache_slew_bucket)
+                    forms[stage.name], config.cache_slew_bucket,
+                    clamp=clamp)
             complete(stage, computed, stats)
 
         def submit(stage: LogicStage) -> None:
+            if self._interrupt.is_set():
+                return
             wave = waves[stage.name]
-            if wave not in wave_spans:
+            if wave not in wave_spans and wave_pending[wave] > 0:
                 handle = span("sta.wave", index=wave,
                               stages=wave_pending[wave],
                               backend=config.backend)
                 handle.__enter__()
                 wave_spans[wave] = handle
             inc("sta.parallel.dispatch", backend=config.backend)
+            clamp = admit_clamp(stage)
             if stage.name in serial_only:
-                run_in_parent(stage, "serial_only")
+                run_in_parent(stage, "serial_only", clamp=clamp)
                 return
             form = forms[stage.name]
             if config.backend == "thread":
                 future = executor.submit(
                     _evaluate_stage, analyzer, stage, dict(arrivals),
-                    self.cache, form, config.cache_slew_bucket)
+                    self.cache, form, config.cache_slew_bucket, clamp)
             else:
                 relevant = set(stage.inputs)
                 relevant.update(node.name for node in stage.outputs)
@@ -821,7 +1130,7 @@ class ParallelStaEngine:
                            and form is not None else None)
                 future = executor.submit(
                     _process_stage_task, stage, snapshot, form,
-                    shipped, config.cache_slew_bucket)
+                    shipped, config.cache_slew_bucket, clamp)
             futures[future] = stage
             submitted_at[future] = time.monotonic()
 
@@ -845,15 +1154,18 @@ class ParallelStaEngine:
             """A worker died and took the pool with it.
 
             ``first_casualty`` is the stage whose future surfaced the
-            breakage (already popped by the caller).  It and every
-            in-flight stage re-run in the main process (and stay
-            serial for any resubmission — a deterministic crasher
-            must not kill the replacement pool too), then a fresh
-            pool takes over the remaining graph.
+            breakage (already popped by the caller).  Only it re-runs
+            in the main process (and stays pinned serial — a
+            deterministic crasher must not kill the replacement pool
+            too); the other in-flight stages lost nothing but their
+            dispatch, so they resubmit to a fresh pool instead of
+            serializing the whole wave.  A survivor that *is* the
+            crasher simply surfaces as the next broken future and
+            becomes the next first casualty.
             """
             nonlocal executor
-            casualties = [first_casualty]
-            casualties.extend(futures.values())
+            survivors = [stage for stage in futures.values()
+                         if stage.name != first_casualty.name]
             futures.clear()
             submitted_at.clear()
             try:
@@ -861,21 +1173,26 @@ class ParallelStaEngine:
             except Exception:
                 pass
             executor = self._make_executor()
-            for stage in casualties:
-                serial_only.add(stage.name)
-            for stage in casualties:
-                run_in_parent(stage, "worker_crash")
+            serial_only.add(first_casualty.name)
+            run_in_parent(first_casualty, "worker_crash")
+            for stage in survivors:
+                inc("sta.parallel.resubmit", reason="worker_crash")
+                submit(stage)
 
         poll = (max(0.02, config.stage_timeout / 4.0)
                 if config.stage_timeout is not None else None)
         try:
-            for stage in order:
+            for stage in active:
                 if indegree[stage.name] == 0:
                     submit(stage)
             while futures:
-                done, _ = wait(list(futures), timeout=poll,
-                               return_when=FIRST_COMPLETED)
-                for future in done:
+                if self._interrupt.is_set():
+                    inc("sta.parallel.interrupted",
+                        backend=config.backend)
+                    break
+                finished, _ = wait(list(futures), timeout=poll,
+                                   return_when=FIRST_COMPLETED)
+                for future in finished:
                     if future not in futures:
                         continue
                     stage = futures.pop(future)

@@ -106,6 +106,10 @@ def design_summary(graph: StageGraph, result: StaResult) -> str:
         f"Design {graph.name}: {len(graph.stages)} logic stages, "
         f"{transistors} transistors, {wires} wires",
     ]
+    if getattr(result, "partial", False):
+        lines.append(
+            "PARTIAL RESULT: the run was interrupted before every "
+            "stage completed; arrivals below cover finished waves only")
     if result.worst is not None:
         lines.append(
             f"Worst arrival: {result.worst.net} ({result.worst.direction})"
@@ -129,6 +133,30 @@ def design_summary(graph: StageGraph, result: StaResult) -> str:
         lines.append(
             f"Degraded arrivals: {len(degraded)} of "
             f"{len(result.arrivals)} via fallback rungs ({detail})")
+    budget = getattr(result, "budget", None)
+    if budget:
+        clamped = sum(budget.get("clamped_stages", {}).values())
+        verdict = ("within deadline+grace"
+                   if budget.get("within_deadline") else "OVERRAN")
+        line = (f"Run budget: {budget['elapsed']:.2f}s of "
+                f"{budget['deadline']:.2f}s deadline "
+                f"(+{budget['grace']:.2f}s grace, {verdict})")
+        if clamped:
+            line += (f"; ladder clamped to {budget['final_level']!r} "
+                     f"for {clamped} stage dispatch(es)")
+        lines.append(line)
+    journal = getattr(result, "journal", None)
+    if journal:
+        line = (f"Run journal: {journal['waves']} wave(s) at "
+                f"{journal['path']}")
+        if journal.get("replayed"):
+            line += f", {journal['replayed']} replayed on resume"
+        if journal.get("dropped_lines"):
+            line += (f", {journal['dropped_lines']} damaged line(s) "
+                     f"dropped")
+        if journal.get("disabled"):
+            line += " (journaling disabled after a write error)"
+        lines.append(line)
     audit = getattr(result, "audit", None)
     if audit:
         summary = audit["summary"]

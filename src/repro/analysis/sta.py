@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.circuit.elements import DeviceKind
@@ -33,7 +33,9 @@ from repro.obs.accuracy import note_arc_candidate
 from repro.obs.flight import flight
 from repro.obs.profile import profile_add, profile_phase
 from repro.resilience import faults
+from repro.resilience.budget import CLAMP_BOUND, CLAMP_NO_SPICE
 from repro.resilience.ladder import (
+    QUALITY_BOUNDED,
     QUALITY_QWM,
     ArcSolveError,
     EscalationLadder,
@@ -102,6 +104,15 @@ class StaResult:
             (including sensitizations that were tried and rejected).
         audit: shadow-SPICE audit report (``repro-accuracy-audit/1``
             JSON) when the run was audited, else None.
+        partial: True when the run was interrupted (SIGINT/SIGTERM)
+            before every stage completed; the arrivals present are
+            still exact for the waves that finished.
+        resumed_waves: scheduling waves replayed from a run journal
+            instead of being recomputed (``--resume``).
+        budget: run-budget outcome (:meth:`repro.resilience.budget.
+            AdmissionController.summary`) when ``--deadline`` was set.
+        journal: run-journal outcome (path, wave counts, disabled
+            flag) when ``--journal`` was set.
     """
 
     arrivals: Dict[Event, ArrivalTime]
@@ -109,6 +120,10 @@ class StaResult:
     critical_path: List[Event] = field(default_factory=list)
     stats: SimulationStats = field(default_factory=SimulationStats)
     audit: Optional[Dict] = None
+    partial: bool = False
+    resumed_waves: int = 0
+    budget: Optional[Dict] = None
+    journal: Optional[Dict] = None
 
     def arrival(self, net: str, direction: str) -> Optional[ArrivalTime]:
         return self.arrivals.get((net, direction))
@@ -291,6 +306,9 @@ class StaticTimingAnalyzer:
         self.resilience = resilience or EscalationPolicy()
         self._ladder = (EscalationLadder(self, self.resilience)
                         if self.resilience.enabled else None)
+        # Lazily built SPICE-rung-disabled ladder for the admission
+        # controller's "no-spice" clamp (same analyzer, same retries).
+        self._nospice_ladder: Optional[EscalationLadder] = None
         # Quality tag of the most recent stage_arc (read by
         # serial_arc_fn after routing through the patchable
         # stage_delay, whose float-only signature predates quality).
@@ -303,7 +321,8 @@ class StaticTimingAnalyzer:
     def stage_arc(self, stage: LogicStage, output: str,
                   out_direction: str, switching_input: str,
                   input_slew: Optional[float] = None,
-                  stats: Optional[SimulationStats] = None
+                  stats: Optional[SimulationStats] = None,
+                  clamp: Optional[str] = None
                   ) -> Optional[Arc]:
         """Evaluate one arc: returns (delay, output_slew, quality) or None.
 
@@ -322,6 +341,12 @@ class StaticTimingAnalyzer:
                 solve this arc performs.  Parallel workers pass a local
                 object here; without one the cost lands on the analyzer's
                 current :meth:`analyze` run (not thread-safe).
+            clamp: admission-control clamp level (see
+                :mod:`repro.resilience.budget`): ``"no-spice"`` runs
+                the ladder with the SPICE rung disabled, ``"bound"``
+                routes straight to the switch-level bound.  Ignored
+                when the ladder is disabled (legacy fail-fast mode has
+                no rungs to clamp).
         """
         vdd = stage.vdd
         rising_in = out_direction == "fall"
@@ -349,8 +374,20 @@ class StaticTimingAnalyzer:
                                          out_direction, switching_input,
                                          source, t_input, stats)
 
-            if self._ladder is not None:
-                result = self._ladder.evaluate_arc(
+            if self._ladder is not None and clamp == CLAMP_BOUND:
+                # Deadline pressure: skip every iterative rung and
+                # take the cheapest honest answer.
+                inc("resilience.budget.clamped_arcs", level=clamp)
+                bound = self._ladder.bound_arc(
+                    stage, output, out_direction, switching_input)
+                result = ((bound[0], bound[1], QUALITY_BOUNDED)
+                          if bound is not None else None)
+            elif self._ladder is not None:
+                ladder = self._ladder
+                if clamp == CLAMP_NO_SPICE:
+                    inc("resilience.budget.clamped_arcs", level=clamp)
+                    ladder = self._clamped_ladder()
+                result = ladder.evaluate_arc(
                     stage, output, out_direction, switching_input,
                     input_slew, stats, qwm_attempt)
             else:
@@ -367,6 +404,13 @@ class StaticTimingAnalyzer:
         self._last_quality = result[2]
         inc("resilience.arc.quality", quality=result[2])
         return result
+
+    def _clamped_ladder(self) -> EscalationLadder:
+        """The SPICE-disabled ladder the ``no-spice`` clamp runs."""
+        if self._nospice_ladder is None:
+            self._nospice_ladder = EscalationLadder(
+                self, replace(self.resilience, spice=False))
+        return self._nospice_ladder
 
     def _qwm_attempt(self, evaluator: WaveformEvaluator,
                      stage: LogicStage, output: str, out_direction: str,

@@ -144,6 +144,7 @@ from repro.devices.corners import all_corners
 from repro.io import ascii_plot, parse_spice_netlist
 from repro.io.spice_netlist import parse_value
 from repro.obs import ObsConfig, configure, disable, format_span_tree, telemetry
+from repro.resilience.ladder import QUALITY_ORDER, QUALITY_RANK
 from repro.obs.profile import (
     ProfileConfig,
     configure_profile,
@@ -214,14 +215,17 @@ def _cmd_sta(args: argparse.Namespace) -> int:
     audit = args.audit or 0
 
     parallel = (args.workers > 1 or args.backend != "serial"
-                or args.cache or args.cache_file)
+                or args.cache or args.cache_file
+                or args.deadline is not None or args.journal)
     execution = None
     cache = None
     if parallel:
         execution = ExecutionConfig(
             workers=args.workers, backend=args.backend,
             cache=bool(args.cache or args.cache_file),
-            cache_path=args.cache_file)
+            cache_path=args.cache_file,
+            deadline=args.deadline, grace=args.grace,
+            journal_path=args.journal, resume=args.resume)
         if execution.wants_cache:
             # Built here (not inside the engine) so corner re-timing
             # shares one cache and the hit/miss totals can be printed.
@@ -289,7 +293,7 @@ def _cmd_sta(args: argparse.Namespace) -> int:
     if args.corners:
         delays = {}
         for name, corner_tech in all_corners(tech).items():
-            _, corner_result = run(corner_tech)
+            _, corner_result, _ = run(corner_tech)
             if corner_result.worst is not None:
                 delays[name] = corner_result.worst.time
         print()
@@ -303,6 +307,22 @@ def _cmd_sta(args: argparse.Namespace) -> int:
     if required is not None and result.worst is not None \
             and result.worst.time > required:
         return 1
+    if args.fail_on_degraded is not None:
+        threshold = QUALITY_RANK[args.fail_on_degraded]
+        offenders = [arrival
+                     for arrival in result.arrivals.values()
+                     if arrival.quality is not None
+                     and QUALITY_RANK.get(arrival.quality, 0)
+                     >= threshold]
+        if offenders:
+            print(f"fail-on-degraded: {len(offenders)} arrival(s) at "
+                  f"or below the {args.fail_on_degraded!r} rung",
+                  file=sys.stderr)
+            return 3
+        if getattr(result, "partial", False):
+            print("fail-on-degraded: run is partial (interrupted "
+                  "before every stage completed)", file=sys.stderr)
+            return 3
     return 0
 
 
@@ -1086,6 +1106,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable the resilience ladder: a failed "
                           "arc solve raises instead of degrading to "
                           "retry/SPICE/bound rungs")
+    sta.add_argument("--deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="run-level wall-clock budget: the scheduler "
+                          "clamps the escalation ladder per wave "
+                          "(full -> no-spice -> bound) so the run "
+                          "finishes inside deadline+grace with honest "
+                          "quality tags")
+    sta.add_argument("--grace", type=float, default=None,
+                     metavar="SECONDS",
+                     help="explicit grace allowance for the wave in "
+                          "flight at the deadline (default: "
+                          "max(0.5, 0.1*deadline))")
+    sta.add_argument("--journal", metavar="FILE", default=None,
+                     help="crash-safe run journal (JSONL, format "
+                          "repro-run-journal/1): each completed wave "
+                          "checkpoints atomically; combine with "
+                          "--resume to continue a killed run")
+    sta.add_argument("--resume", action="store_true",
+                     help="replay completed waves from --journal "
+                          "(fingerprint-validated) and continue; "
+                          "arrivals are bit-identical to an "
+                          "uninterrupted run")
+    sta.add_argument("--fail-on-degraded", nargs="?",
+                     const="qwm-retry", default=None,
+                     metavar="QUALITY",
+                     choices=list(QUALITY_ORDER),
+                     help="exit 3 when any arrival's quality is at or "
+                          "below the named rung (default threshold: "
+                          "qwm-retry), or when the run is partial — "
+                          "the CI gate for deadline/journal runs")
     sta.add_argument("--audit", type=int, default=0, metavar="N",
                      help="shadow-SPICE audit: deterministically "
                           "sample N of the run's arcs (stratified by "

@@ -52,6 +52,8 @@ __all__ = [
 #: Absorbing mechanisms that are not ladder rungs.
 ABSORB_REDISPATCH = "serial-redispatch"
 ABSORB_QUARANTINE = "store-quarantine"
+ABSORB_RESUME = "journal-resume"
+ABSORB_JOURNAL_DISABLED = "journal-disabled"
 
 
 @dataclass(frozen=True)
@@ -74,6 +76,12 @@ class ChaosScenario:
         scoped_to_stage: the fault only touches the target stage, so
             arrivals outside its fanout cone must match the baseline
             bit for bit.
+        runner: name of a special run recipe (``"kill_resume"``,
+            ``"enospc"``, ``"truncate_resume"``, ``"deadline"``) for
+            scenarios that need more than a single ``analyze`` call —
+            e.g. kill the run, then resume it from the journal.
+        deadline: run budget [s] handed to the admission controller by
+            the ``"deadline"`` runner.
     """
 
     name: str
@@ -86,6 +94,8 @@ class ChaosScenario:
     corrupt_library: bool = False
     corrupt_store: bool = False
     scoped_to_stage: bool = True
+    runner: Optional[str] = None
+    deadline: Optional[float] = None
 
 
 @dataclass
@@ -224,6 +234,43 @@ def default_scenarios(target: str) -> List[ChaosScenario]:
             specs=(FaultSpec("cache_truncate", fraction=0.5),),
             expect=(ABSORB_QUARANTINE,),
             corrupt_store=True),
+        ChaosScenario(
+            "journal-kill-resume",
+            "the run is hard-killed right after a wave checkpoint; "
+            "--resume replays the journal and finishes bit-identically",
+            specs=(FaultSpec("run_kill", wave=0, count=1),),
+            expect=(ABSORB_RESUME,),
+            runner="kill_resume"),
+        ChaosScenario(
+            "journal-kill-resume-process",
+            "the same between-wave kill, but under the process pool",
+            specs=(FaultSpec("run_kill", wave=0, count=1),),
+            expect=(ABSORB_RESUME,),
+            backend="process", workers=2,
+            runner="kill_resume"),
+        ChaosScenario(
+            "journal-enospc",
+            "the journal flush hits ENOSPC; journaling self-disables "
+            "and the analysis still completes cleanly",
+            specs=(FaultSpec("journal_enospc", count=1),),
+            expect=(ABSORB_JOURNAL_DISABLED,),
+            runner="enospc"),
+        ChaosScenario(
+            "journal-truncate",
+            "the journal tail is truncated between runs; --resume "
+            "drops the damaged lines and replays what survived",
+            specs=(FaultSpec("journal_truncate", fraction=0.6),),
+            expect=(ABSORB_RESUME,),
+            runner="truncate_resume"),
+        ChaosScenario(
+            "deadline-exhaust",
+            "the run budget is forced to exhaustion mid-run; the "
+            "admission controller clamps the ladder to the bound and "
+            "the run still finishes",
+            specs=(FaultSpec("deadline_exhaust", nth=2),),
+            expect=("bounded",),
+            scoped_to_stage=False,
+            runner="deadline", deadline=60.0),
     ]
 
 
@@ -319,10 +366,14 @@ def _run_scenario(scenario: ChaosScenario, seed: int, tech, library,
                                     workers=scenario.workers,
                                     stage_timeout=scenario.stage_timeout)
 
+    mechanism: Optional[str] = None
     started = time.perf_counter()
     try:
         with faults.installed(plan):
-            if scenario.corrupt_store:
+            if scenario.runner is not None:
+                result, mechanism = _RUNNERS[scenario.runner](
+                    scenario, plan, tech, run_library, graph)
+            elif scenario.corrupt_store:
                 result = _run_store_scenario(plan, tech, run_library,
                                              graph)
             else:
@@ -343,7 +394,9 @@ def _run_scenario(scenario: ChaosScenario, seed: int, tech, library,
     outcome.quarantines = counters.delta("cache.store_corrupt")
     outcome.degraded_events = len(result.degraded())
 
-    if outcome.redispatches > 0:
+    if mechanism is not None:
+        outcome.absorbed_by = mechanism
+    elif outcome.redispatches > 0:
         outcome.absorbed_by = ABSORB_REDISPATCH
     elif outcome.quarantines > 0:
         outcome.absorbed_by = ABSORB_QUARANTINE
@@ -358,6 +411,93 @@ def _run_scenario(scenario: ChaosScenario, seed: int, tech, library,
         outcome.unaffected_identical = _unaffected_match(
             result, baseline, cone)
     return outcome
+
+
+# ----------------------------------------------------------------------
+# Special run recipes (ChaosScenario.runner dispatch).
+#
+# Each runner returns ``(result, mechanism)``: the StaResult the
+# verdict is read from, and the absorbing mechanism when it is not a
+# ladder rung (None falls through to the worst arrival quality).
+# ----------------------------------------------------------------------
+def _journaled_analyzer(scenario, tech, library, path: str,
+                        resume: bool = False, deadline=None):
+    from repro.analysis import StaticTimingAnalyzer
+    from repro.analysis.parallel import ExecutionConfig
+
+    return StaticTimingAnalyzer(
+        tech, library=library,
+        execution=ExecutionConfig(
+            backend=scenario.backend, workers=scenario.workers,
+            journal_path=path, resume=resume, deadline=deadline),
+        resilience=EscalationPolicy())
+
+
+def _runner_kill_resume(scenario, plan, tech, library, graph):
+    """Journaled run killed between waves, then resumed to completion."""
+    from repro.resilience.faults import RunKilled
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        path = f"{tmp}/run-journal.jsonl"
+        try:
+            _journaled_analyzer(scenario, tech, library,
+                                path).analyze(graph)
+        except RunKilled:
+            pass
+        result = _journaled_analyzer(scenario, tech, library, path,
+                                     resume=True).analyze(graph)
+    mechanism = (ABSORB_RESUME
+                 if getattr(result, "resumed_waves", 0) >= 1 else None)
+    return result, mechanism
+
+
+def _runner_enospc(scenario, plan, tech, library, graph):
+    """Journaled run whose flush hits ENOSPC; analysis must survive."""
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        path = f"{tmp}/run-journal.jsonl"
+        result = _journaled_analyzer(scenario, tech, library,
+                                     path).analyze(graph)
+    journal = getattr(result, "journal", None)
+    mechanism = (ABSORB_JOURNAL_DISABLED
+                 if journal and journal.get("disabled") else None)
+    return result, mechanism
+
+
+def _runner_truncate_resume(scenario, plan, tech, library, graph):
+    """Complete a journaled run, mangle the journal tail, resume."""
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        path = f"{tmp}/run-journal.jsonl"
+        _journaled_analyzer(scenario, tech, library, path).analyze(graph)
+        faults.apply_journal_faults(plan, path)
+        result = _journaled_analyzer(scenario, tech, library, path,
+                                     resume=True).analyze(graph)
+    mechanism = (ABSORB_RESUME
+                 if getattr(result, "resumed_waves", 0) >= 1 else None)
+    return result, mechanism
+
+
+def _runner_deadline(scenario, plan, tech, library, graph):
+    """Deadline-budgeted run; the exhaust fault forces the bound clamp."""
+    from repro.analysis import StaticTimingAnalyzer
+    from repro.analysis.parallel import ExecutionConfig
+
+    analyzer = StaticTimingAnalyzer(
+        tech, library=library,
+        execution=ExecutionConfig(backend=scenario.backend,
+                                  workers=scenario.workers,
+                                  deadline=scenario.deadline),
+        resilience=EscalationPolicy())
+    # Mechanism None: the verdict falls through to the worst arrival
+    # quality, which must be the bound the clamp routed arcs to.
+    return analyzer.analyze(graph), None
+
+
+_RUNNERS = {
+    "kill_resume": _runner_kill_resume,
+    "enospc": _runner_enospc,
+    "truncate_resume": _runner_truncate_resume,
+    "deadline": _runner_deadline,
+}
 
 
 def _run_store_scenario(plan: FaultPlan, tech, library, graph):
@@ -448,11 +588,19 @@ def run_matrix(seed: int = 0, bits: int = 2,
 # ----------------------------------------------------------------------
 def format_report(report: ChaosReport) -> str:
     """Fixed-width text table of the matrix result."""
+    name_w = max([len("scenario")]
+                 + [len(o.name) for o in report.outcomes]) + 2
+    expect_w = max([len("expected")]
+                   + [len("|".join(o.expect)) for o in report.outcomes]) + 2
+    absorb_w = max([len("absorbed by")]
+                   + [len(str(o.absorbed_by)) for o in report.outcomes]) + 2
+    rule = "-" * (name_w + expect_w + absorb_w + len("verdict"))
     lines = [
         f"chaos matrix  (seed {report.seed}, decoder bits={report.bits}, "
         f"target stage {report.target_stage})",
-        "-" * 72,
-        f"{'scenario':<19}{'expected':<22}{'absorbed by':<19}verdict",
+        rule,
+        f"{'scenario':<{name_w}}{'expected':<{expect_w}}"
+        f"{'absorbed by':<{absorb_w}}verdict",
     ]
     for o in report.outcomes:
         expected = "|".join(o.expect)
@@ -462,9 +610,9 @@ def format_report(report: ChaosReport) -> str:
             detail = f"  ({o.error})"
         elif not o.absorbed and o.unaffected_identical is False:
             detail = "  (fault leaked outside its fanout cone)"
-        lines.append(f"{o.name:<19}{expected:<22}"
-                     f"{str(o.absorbed_by):<19}{verdict}{detail}")
-    lines.append("-" * 72)
+        lines.append(f"{o.name:<{name_w}}{expected:<{expect_w}}"
+                     f"{str(o.absorbed_by):<{absorb_w}}{verdict}{detail}")
+    lines.append(rule)
     absorbed = sum(1 for o in report.outcomes if o.absorbed)
     lines.append(f"{absorbed}/{len(report.outcomes)} scenarios absorbed")
     return "\n".join(lines)

@@ -19,8 +19,15 @@ and consulted by cheap gates wired into the solver stack:
   worker, but only inside a real pool worker
   (:func:`mark_worker_process`), so the parent's serial re-dispatch of
   the same stage survives.
-* :func:`apply_table_faults` / :func:`apply_store_faults` — applied by
-  the chaos harness before the run (NaN cells, truncated JSON store).
+* :func:`apply_table_faults` / :func:`apply_store_faults` /
+  :func:`apply_journal_faults` — applied by the chaos harness before
+  (or between) runs: NaN cells, truncated JSON store, truncated run
+  journal.
+* :func:`journal_write_gate` / :func:`wave_gate` /
+  :func:`deadline_exhaust_gate` — run-durability faults: an injected
+  ``ENOSPC`` on journal flush, a hard :class:`RunKilled` between waves
+  (the crash the journal+resume path must absorb), and a simulated
+  spent deadline that forces the admission controller to clamp.
 
 Every gate is a no-op attribute check while no plan is installed, so
 production runs pay nothing.  Targeting is scoped: the STA layer pushes
@@ -48,10 +55,13 @@ from repro.obs.flight import flight
 
 __all__ = [
     "FAULT_KINDS", "FaultSpec", "FaultPlan", "StageTimeoutError",
+    "RunKilled",
     "install", "uninstall", "installed", "active_plan",
     "scope", "scope_default", "current_scope", "mark_worker_process",
     "newton_should_fail", "check_stage_timeout", "worker_gate",
-    "apply_table_faults", "apply_store_faults", "truncate_file",
+    "journal_write_gate", "wave_gate", "deadline_exhaust_gate",
+    "apply_table_faults", "apply_store_faults",
+    "apply_journal_faults", "truncate_file",
 ]
 
 #: The injectable fault classes.
@@ -62,6 +72,10 @@ FAULT_KINDS = (
     "worker_hang",
     "cache_truncate",
     "stage_timeout",
+    "journal_enospc",
+    "journal_truncate",
+    "run_kill",
+    "deadline_exhaust",
 )
 
 #: Exit code a fault-crashed pool worker dies with (diagnosable in CI).
@@ -86,6 +100,20 @@ class StageTimeoutError(RuntimeError):
         self.elapsed = elapsed
 
 
+class RunKilled(RuntimeError):
+    """An injected hard kill between scheduling waves.
+
+    Raised by :func:`wave_gate` right after a wave's journal segment
+    has been flushed — the moment a real ``kill -9`` would be most
+    harmful.  The chaos harness catches it, resumes from the journal
+    and asserts bit-identical arrivals.
+    """
+
+    def __init__(self, message: str, wave: Optional[int] = None):
+        super().__init__(message)
+        self.wave = wave
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """One declarative fault.
@@ -106,8 +134,15 @@ class FaultSpec:
             first gated call of the stage).
         hang_seconds: ``worker_hang`` sleep [s] — keep finite so the
             abandoned worker eventually exits.
-        fraction: ``nan_table`` fraction of grid cells poisoned (0, 1].
+        fraction: ``nan_table`` fraction of grid cells poisoned (0, 1];
+            for ``cache_truncate`` / ``journal_truncate`` the kept byte
+            fraction.
         polarity: ``nan_table`` table polarity (``"n"`` or ``"p"``).
+        wave: scheduling-wave index a ``run_kill`` fault targets (None
+            fires on any newly journaled wave).  Wave targeting is what
+            keeps kill->resume deterministic: a resumed run replays the
+            targeted wave from the journal instead of re-recording it,
+            so the fault cannot re-fire.
     """
 
     kind: str
@@ -119,6 +154,7 @@ class FaultSpec:
     hang_seconds: float = 2.5
     fraction: float = 0.25
     polarity: str = "n"
+    wave: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -136,6 +172,8 @@ class FaultSpec:
             raise ValueError("timeout_seconds must be non-negative")
         if self.hang_seconds <= 0:
             raise ValueError("hang_seconds must be positive")
+        if self.wave is not None and self.wave < 0:
+            raise ValueError("wave must be non-negative")
 
     def to_json(self) -> Dict[str, Any]:
         return {f.name: getattr(self, f.name) for f in fields(self)
@@ -414,6 +452,63 @@ def worker_gate(stage_name: str) -> None:
             os._exit(WORKER_CRASH_EXIT_CODE)
 
 
+def journal_write_gate(path: str) -> None:
+    """Raise an injected ``ENOSPC`` :class:`OSError` on journal flush.
+
+    Called by :meth:`repro.resilience.journal.RunJournal.flush` before
+    any bytes are written; the journal absorbs the error by disabling
+    itself for the rest of the run (durability degrades, the analysis
+    still completes).
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    import errno
+
+    for index, spec in plan.matching("journal_enospc"):
+        if plan._arm(index):
+            _note_injection(spec, path=path)
+            raise OSError(errno.ENOSPC,
+                          "injected ENOSPC on journal write", path)
+
+
+def wave_gate(wave: int) -> None:
+    """Raise :class:`RunKilled` after wave ``wave`` was journaled.
+
+    The engine calls this only when :meth:`RunJournal.record_wave`
+    newly recorded the wave, so a resumed run (which replays the wave
+    instead of re-recording it) never re-triggers the kill.
+    """
+    plan = _PLAN
+    if plan is None:
+        return
+    for index, spec in plan.matching("run_kill"):
+        if spec.wave is not None and spec.wave != wave:
+            continue
+        if plan._arm(index):
+            _note_injection(spec, wave=wave)
+            raise RunKilled(
+                f"injected run kill after wave {wave} checkpoint",
+                wave=wave)
+
+
+def deadline_exhaust_gate() -> bool:
+    """True when an installed ``deadline_exhaust`` fault fires here.
+
+    Consulted by the admission controller on each :meth:`admit` call;
+    a firing marks the run budget as permanently spent, forcing the
+    clamp ladder to the conservative bound mid-run.
+    """
+    plan = _PLAN
+    if plan is None:
+        return False
+    for index, spec in plan.matching("deadline_exhaust"):
+        if plan._arm(index):
+            _note_injection(spec)
+            return True
+    return False
+
+
 # ----------------------------------------------------------------------
 # Static fault application (run by the chaos harness before a run).
 # ----------------------------------------------------------------------
@@ -470,6 +565,24 @@ def apply_store_faults(plan: FaultPlan, path: str) -> bool:
     """
     applied = False
     for index, spec in plan.matching("cache_truncate"):
+        if not os.path.exists(path):
+            continue
+        truncate_file(path, keep_fraction=spec.fraction)
+        plan.note_fired(index)
+        _note_injection(spec, path=path)
+        applied = True
+    return applied
+
+
+def apply_journal_faults(plan: FaultPlan, path: str) -> bool:
+    """Truncate an on-disk run journal, per plan.
+
+    Returns True when a ``journal_truncate`` spec applied; the
+    fraction field is the kept byte fraction.  A truncated tail must
+    cost at most the damaged waves — resume re-runs them.
+    """
+    applied = False
+    for index, spec in plan.matching("journal_truncate"):
         if not os.path.exists(path):
             continue
         truncate_file(path, keep_fraction=spec.fraction)

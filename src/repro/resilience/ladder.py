@@ -301,7 +301,7 @@ class EscalationLadder:
                               switching_input, input_slew, stats)))
         if self.policy.bound:
             rungs.append((QUALITY_BOUNDED,
-                          lambda: self._bound_arc(
+                          lambda: self.bound_arc(
                               stage, output, out_direction,
                               switching_input)))
         return rungs
@@ -407,15 +407,17 @@ class EscalationLadder:
             max_seconds=self.policy.spice_max_seconds)
 
     # -- bound rung ----------------------------------------------------
-    def _bound_arc(self, stage, output: str, out_direction: str,
-                   switching_input: str
-                   ) -> Optional[Tuple[float, Optional[float]]]:
+    def bound_arc(self, stage, output: str, out_direction: str,
+                  switching_input: str
+                  ) -> Optional[Tuple[float, Optional[float]]]:
         """Conservative switch-level/Elmore bound for one arc.
 
         Purely structural — an RC ladder over the conducting pull path
         with analytic effective resistances — so it has no Newton
         iterations to diverge and no table data to be corrupted.  A
         missing conducting path is the None (unsensitizable) verdict.
+        Public because the admission controller's ``bound`` clamp
+        routes arcs straight here, bypassing the iterative rungs.
         """
         from repro.baselines.switch_level import SwitchLevelTimer
 

@@ -9,6 +9,7 @@ expects.
 """
 
 import json
+import os
 import pickle
 
 import pytest
@@ -334,7 +335,10 @@ class TestStoreHardening:
         assert len(reloaded) == 0
         assert (tmp_path / "store.json.corrupt").exists()
 
-    def test_version_mismatch_ignored_without_quarantine(self, tmp_path):
+    def test_version_mismatch_quarantined(self, tmp_path):
+        """A store from another schema version cannot be trusted as
+        data (its key layout may not mean what this code assumes), so
+        it quarantines exactly like corrupt JSON."""
         from repro.analysis.parallel import StageResultCache
 
         path = self._store_with_entries(tmp_path)
@@ -345,7 +349,24 @@ class TestStoreHardening:
             json.dump(document, handle)
         reloaded = StageResultCache(path=path)
         assert len(reloaded) == 0
-        assert not (tmp_path / "store.json.corrupt").exists()
+        assert (tmp_path / "store.json.corrupt").exists()
+
+    def test_save_merges_concurrent_writer(self, tmp_path):
+        """Entries persisted by another process since our load survive
+        a save (ours win on conflict)."""
+        from repro.analysis.parallel import StageResultCache, arc_cache_key
+
+        path = self._store_with_entries(tmp_path)
+        other = StageResultCache(path=path)
+        other.put(arc_cache_key("fp2", "out", "rise", "b", None),
+                  (3e-11, 4e-11, "qwm"))
+        other.save()
+        merged = StageResultCache(path=path)
+        assert len(merged) == 3
+
+    def test_save_is_atomic_no_tmp_left(self, tmp_path):
+        path = self._store_with_entries(tmp_path)
+        assert not os.path.exists(path + ".tmp")
 
     def test_intact_store_roundtrips(self, tmp_path):
         from repro.analysis.parallel import StageResultCache, arc_cache_key
